@@ -1,0 +1,39 @@
+// Command miras-dot exports the workflow ensembles as Graphviz DOT files
+// for visual inspection of the reconstructed DAGs:
+//
+//	miras-dot -ensemble ligo | dot -Tpng > ligo.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"miras/internal/workflow"
+)
+
+func main() {
+	ensemble := flag.String("ensemble", "msd", "workflow ensemble: msd, ligo, or toy")
+	wfName := flag.String("workflow", "", "export only the named workflow type")
+	flag.Parse()
+
+	e, ok := workflow.ByName(*ensemble)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "miras-dot: unknown ensemble %q\n", *ensemble)
+		os.Exit(1)
+	}
+	var err error
+	if *wfName != "" {
+		var wf *workflow.Type
+		wf, err = e.WorkflowByName(*wfName)
+		if err == nil {
+			err = wf.WriteDOT(os.Stdout, e)
+		}
+	} else {
+		err = e.WriteDOT(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miras-dot:", err)
+		os.Exit(1)
+	}
+}

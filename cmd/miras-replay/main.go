@@ -1,0 +1,119 @@
+// Command miras-replay loads a policy snapshot saved by miras-train and
+// replays it against a burst scenario on a freshly built environment —
+// the deployment path: train once, control anywhere.
+//
+// Usage:
+//
+//	miras-train  -ensemble msd -scale medium -save-policy policy.json
+//	miras-replay -ensemble msd -policy policy.json -burst 300,200,300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"miras/internal/core"
+	"miras/internal/env"
+	"miras/internal/experiments"
+	"miras/internal/metrics"
+	"miras/internal/rl"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "miras-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ensemble := flag.String("ensemble", "msd", "workflow ensemble: msd or ligo")
+	policyPath := flag.String("policy", "", "path to a policy snapshot saved by miras-train (required)")
+	burstSpec := flag.String("burst", "", "comma-separated burst counts per workflow type (optional)")
+	windows := flag.Int("windows", 30, "number of control windows to run")
+	seed := flag.Int64("seed", 0, "override experiment seed (0 keeps the preset)")
+	flag.Parse()
+
+	if *policyPath == "" {
+		return fmt.Errorf("-policy is required")
+	}
+	s, err := experiments.MediumSetup(*ensemble)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+
+	snap, err := rl.LoadPolicySnapshot(*policyPath)
+	if err != nil {
+		return err
+	}
+	ctrl, err := core.NewSnapshotController(snap, s.Budget)
+	if err != nil {
+		return err
+	}
+
+	h, err := experiments.BuildHarness(s, 1000)
+	if err != nil {
+		return err
+	}
+	if snap.Actor.InDim() != h.Env.StateDim() {
+		return fmt.Errorf("policy was trained for %d microservices, ensemble %q has %d",
+			snap.Actor.InDim(), *ensemble, h.Env.StateDim())
+	}
+	if *burstSpec != "" {
+		burst, err := parseBurst(*burstSpec, h.Env.StateDim(), h.Cluster.Ensemble().NumWorkflows())
+		if err != nil {
+			return err
+		}
+		if err := h.Generator.InjectBurst(burst); err != nil {
+			return err
+		}
+		fmt.Printf("injected burst %v\n", burst)
+	}
+
+	results, err := env.Run(h.Env, ctrl, *windows)
+	if err != nil {
+		return err
+	}
+	fmt.Println("window  allocation        ΣWIP    completed  mean-delay(s)")
+	var series []float64
+	completed := 0
+	for i, r := range results {
+		var wip float64
+		for _, w := range r.State {
+			wip += w
+		}
+		series = append(series, r.Stats.MeanDelay())
+		completed += len(r.Stats.Completions)
+		fmt.Printf("%6d  %-17s %-7.0f %-10d %.1f\n",
+			i, fmt.Sprint(r.Stats.Consumers), wip, len(r.Stats.Completions), r.Stats.MeanDelay())
+	}
+	fmt.Printf("\ntotals: %d completed, mean window delay %.1fs, tail %.1fs\n",
+		completed, metrics.Mean(series), metrics.TailMean(series, 0.25))
+	return nil
+}
+
+// parseBurst parses "300,200,300" into per-workflow counts.
+func parseBurst(spec string, stateDim, numWorkflows int) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != numWorkflows {
+		return nil, fmt.Errorf("burst has %d counts, ensemble has %d workflow types", len(parts), numWorkflows)
+	}
+	burst := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("burst count %q: %w", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative burst count %d", v)
+		}
+		burst[i] = v
+	}
+	return burst, nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseBurst(t *testing.T) {
+	got, err := parseBurst("300, 200,300", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 300 || got[1] != 200 || got[2] != 300 {
+		t.Fatalf("parseBurst=%v", got)
+	}
+	if _, err := parseBurst("1,2", 4, 3); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if _, err := parseBurst("1,x,3", 4, 3); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := parseBurst("1,-2,3", 4, 3); err == nil {
+		t.Fatal("expected negativity error")
+	}
+}

@@ -1,0 +1,39 @@
+// Command miras-server exposes the emulated microservice workflow
+// environment over HTTP (see internal/httpapi for the API), letting agents
+// written in any language train against it:
+//
+//	miras-server -addr :8080 &
+//	curl -X POST localhost:8080/v1/sessions \
+//	  -d '{"ensemble":"msd","budget":14}'
+//	curl -X POST localhost:8080/v1/sessions/s1/step \
+//	  -d '{"allocation":[4,4,3,3]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"miras/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	maxSessions := flag.Int("max-sessions", 64, "maximum concurrent sessions")
+	flag.Parse()
+
+	srv := httpapi.NewServer()
+	srv.MaxSessions = *maxSessions
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("miras-server listening on %s\n", *addr)
+	if err := httpServer.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "miras-server:", err)
+		os.Exit(1)
+	}
+}

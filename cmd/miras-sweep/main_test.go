@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 2 {
+		t.Fatalf("parseInts=%v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("expected error")
+	}
+	empty, err := parseInts("  ")
+	if err != nil || empty != nil {
+		t.Fatalf("blank spec: %v, %v", empty, err)
+	}
+}
+
+func TestParseInt64s(t *testing.T) {
+	got, err := parseInt64s("7,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 || got[1] != 8 {
+		t.Fatalf("parseInt64s=%v", got)
+	}
+}

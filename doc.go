@@ -1,0 +1,9 @@
+// Package miras is a from-scratch Go reproduction of "MIRAS: Model-based
+// Reinforcement Learning for Microservice Resource Allocation over
+// Scientific Workflows" (Yang, Nguyen, Jin, Nahrstedt — ICDCS 2019).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory), runnable programs under cmd/ and examples/, and the
+// benchmark harness regenerating every figure of the paper's evaluation in
+// bench_test.go.
+package miras

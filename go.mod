@@ -1,0 +1,3 @@
+module miras
+
+go 1.22

@@ -1,0 +1,85 @@
+package baselines
+
+import (
+	"miras/internal/env"
+	"miras/internal/workflow"
+)
+
+// HEFT adapts the Heterogeneous-Earliest-Finish-Time workflow scheduling
+// heuristic (Yu, Buyya & Ramamohanarao) to window-level resource
+// allocation, following §VI-D of the paper: task types are ranked by
+// upward rank (mean computation cost plus the maximum-rank successor —
+// i.e. distance to workflow completion), and at each window the consumer
+// budget is split proportionally to priority-weighted backlog.
+//
+// Upward ranks are computed once from the ensemble's DAGs and nominal
+// service times; the per-window signal is the observed WIP plus arrivals.
+type HEFT struct {
+	budget int
+	// rank[j] is the task type's upward rank aggregated over workflows.
+	rank []float64
+}
+
+// Compile-time interface check.
+var _ env.Controller = (*HEFT)(nil)
+
+// NewHEFT computes upward ranks over the ensemble and returns the
+// controller.
+func NewHEFT(e *workflow.Ensemble, budget int) *HEFT {
+	ranks := UpwardRanks(e)
+	return &HEFT{budget: budget, rank: ranks}
+}
+
+// UpwardRanks returns the per-task-type upward rank: for each workflow DAG
+// node, rank(n) = cost(task(n)) + max_{succ s} rank(s); a task type's rank
+// is the maximum over all nodes of all workflows that execute it. Exposed
+// for tests and for the experiment harness's diagnostics.
+func UpwardRanks(e *workflow.Ensemble) []float64 {
+	cost := func(t workflow.TaskType) float64 { return e.Tasks[t].MeanServiceSec }
+	ranks := make([]float64, e.NumTasks())
+	for _, wf := range e.Workflows {
+		nodeRank := make([]float64, wf.NumNodes())
+		order := wf.TopoOrder()
+		for i := len(order) - 1; i >= 0; i-- {
+			n := order[i]
+			var best float64
+			for _, s := range wf.Successors(n) {
+				if nodeRank[s] > best {
+					best = nodeRank[s]
+				}
+			}
+			nodeRank[n] = cost(wf.Nodes[n].Task) + best
+			t := wf.Nodes[n].Task
+			if nodeRank[n] > ranks[t] {
+				ranks[t] = nodeRank[n]
+			}
+		}
+	}
+	return ranks
+}
+
+// Name implements env.Controller.
+func (h *HEFT) Name() string { return "heft" }
+
+// Reset implements env.Controller.
+func (h *HEFT) Reset() {}
+
+// Decide implements env.Controller: budget ∝ rank_j × (WIP_j + arrivals_j),
+// with a small floor so recently idle task types are not starved when work
+// will flow to them.
+func (h *HEFT) Decide(prev env.StepResult) []int {
+	j := len(prev.Stats.WIP)
+	weights := make([]float64, j)
+	for i := 0; i < j; i++ {
+		backlog := prev.Stats.WIP[i]
+		if prev.Stats.ArrivalRate != nil {
+			backlog += prev.Stats.ArrivalRate[i] * 30 // expected arrivals next window
+		}
+		r := 1.0
+		if i < len(h.rank) {
+			r = h.rank[i]
+		}
+		weights[i] = r * (backlog + 0.25)
+	}
+	return env.ProportionalAllocation(weights, h.budget)
+}

@@ -1,0 +1,75 @@
+package baselines
+
+import (
+	"miras/internal/env"
+)
+
+// HPA is a Kubernetes horizontal-pod-autoscaler-style threshold controller,
+// added beyond the paper's four comparisons as the rule-based family its
+// related-work section dismisses ("rule-based, heuristics approaches"). Per
+// microservice it scales the consumer count toward
+// current · (utilization / target), clamped to ±MaxStep per window, then
+// fits the whole vector into the budget proportionally. It has no model and
+// no lookahead — pure reactive feedback.
+type HPA struct {
+	budget int
+	// TargetUtilization is the per-consumer busy fraction it steers to
+	// (default 0.7, the common HPA default).
+	TargetUtilization float64
+	// MaxStep caps the per-window change per microservice (default 3).
+	MaxStep int
+
+	last []int
+}
+
+// Compile-time interface check.
+var _ env.Controller = (*HPA)(nil)
+
+// NewHPA returns a threshold autoscaler.
+func NewHPA(budget int) *HPA {
+	return &HPA{budget: budget, TargetUtilization: 0.7, MaxStep: 3}
+}
+
+// Name implements env.Controller.
+func (h *HPA) Name() string { return "hpa" }
+
+// Reset implements env.Controller.
+func (h *HPA) Reset() { h.last = nil }
+
+// Decide implements env.Controller.
+func (h *HPA) Decide(prev env.StepResult) []int {
+	j := len(prev.Stats.WIP)
+	if h.last == nil {
+		// Start from an even split.
+		h.last = env.UniformAllocation(j, h.budget)
+	}
+	next := make([]int, j)
+	for i := 0; i < j; i++ {
+		cur := h.last[i]
+		if cur == 0 {
+			cur = 1 // a zero-replica service can never report utilization
+		}
+		util := 0.0
+		if prev.Stats.Utilization != nil {
+			util = prev.Stats.Utilization[i]
+		}
+		// Queued work counts as demand even if utilization saturated at 1.
+		if prev.Stats.WIP[i] > float64(cur) {
+			util += prev.Stats.WIP[i] / float64(cur) * 0.1
+		}
+		desired := int(float64(cur)*util/h.TargetUtilization + 0.5)
+		if desired > cur+h.MaxStep {
+			desired = cur + h.MaxStep
+		}
+		if desired < cur-h.MaxStep {
+			desired = cur - h.MaxStep
+		}
+		if desired < 0 {
+			desired = 0
+		}
+		next[i] = desired
+	}
+	next = env.ClampToBudget(next, h.budget)
+	h.last = next
+	return next
+}

@@ -1,0 +1,83 @@
+package baselines
+
+import (
+	"miras/internal/env"
+)
+
+// MONAD is the model-predictive-control allocator of Nguyen & Nahrstedt
+// (ICAC 2017), the microservice-workflow predecessor of MIRAS. Per window
+// it fits a simple per-microservice throughput model from observations,
+//
+//	ŵ_j(k+1) = max(0, w_j(k) + λ̂_j·T − μ̂_j·T·m_j),
+//
+// and picks m(k) minimising Σ_j ŵ_j(k+1) — a one-window lookahead solved
+// greedily by marginal predicted-WIP reduction. As §VI-D notes, the
+// single-window horizon makes MONAD locally efficient but blind to
+// longer-term effects (it cannot deliberately defer work the way MIRAS
+// does).
+type MONAD struct {
+	budget    int
+	windowSec float64
+}
+
+// Compile-time interface check.
+var _ env.Controller = (*MONAD)(nil)
+
+// NewMONAD returns a MONAD controller.
+func NewMONAD(budget int, windowSec float64) *MONAD {
+	return &MONAD{budget: budget, windowSec: windowSec}
+}
+
+// Name implements env.Controller.
+func (m *MONAD) Name() string { return "monad" }
+
+// Reset implements env.Controller.
+func (m *MONAD) Reset() {}
+
+// Decide implements env.Controller.
+func (m *MONAD) Decide(prev env.StepResult) []int {
+	j := len(prev.Stats.WIP)
+	// predictedWork[i]: work units expected at microservice i during the
+	// next window (current WIP plus expected arrivals).
+	predictedWork := make([]float64, j)
+	perConsumer := make([]float64, j) // tasks one consumer finishes per window
+	for i := 0; i < j; i++ {
+		arr := 0.0
+		if prev.Stats.ArrivalRate != nil {
+			arr = prev.Stats.ArrivalRate[i]
+		}
+		predictedWork[i] = prev.Stats.WIP[i] + arr*m.windowSec
+		mean := 1.0
+		if prev.Stats.ServiceMean != nil && prev.Stats.ServiceMean[i] > 0 {
+			mean = prev.Stats.ServiceMean[i]
+		}
+		perConsumer[i] = m.windowSec / mean
+	}
+	// Greedy: each consumer goes where it reduces predicted end-of-window
+	// WIP the most. The marginal value of the c-th consumer at service i
+	// is min(perConsumer, remaining predicted work after c−1 consumers).
+	alloc := make([]int, j)
+	served := make([]float64, j)
+	for unit := 0; unit < m.budget; unit++ {
+		best, bestGain := -1, 1e-12
+		for i := 0; i < j; i++ {
+			remaining := predictedWork[i] - served[i]
+			if remaining <= 0 {
+				continue
+			}
+			gain := perConsumer[i]
+			if remaining < gain {
+				gain = remaining
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // all predicted work covered; surplus consumers idle
+		}
+		alloc[best]++
+		served[best] += perConsumer[best]
+	}
+	return alloc
+}

@@ -1,0 +1,525 @@
+// Package cluster emulates the paper's microservice workflow infrastructure
+// (Figure 1): per-task-type request queues, pools of identical consumers,
+// Kubernetes-style scaling with container start-up delay, and the workflow
+// invoker / task-dependency-service control flow that routes requests
+// through workflow DAGs.
+//
+// This is the substitution for the paper's Google Cloud deployment
+// (RabbitMQ queues + Docker consumers + Kubernetes replication controllers);
+// see DESIGN.md §1. The emulation is a deterministic discrete-event model:
+// the controller observes exactly what the paper's controller observes
+// (per-microservice work-in-progress at window boundaries, workflow response
+// times) and actuates exactly what the paper's controller actuates (the
+// number of consumers per microservice, bounded by a total budget).
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"miras/internal/sim"
+	"miras/internal/workflow"
+)
+
+// Config parameterises a Cluster.
+type Config struct {
+	// Ensemble is the workflow ensemble the cluster serves. Required.
+	Ensemble *workflow.Ensemble
+	// Engine is the discrete-event engine driving virtual time. Required.
+	Engine *sim.Engine
+	// Streams supplies named RNG streams. Required.
+	Streams *sim.Streams
+	// StartupDelayMin/Max bound the uniform container start-up delay in
+	// seconds. The paper measured 5–10 s on Kubernetes (§VI-A2); those are
+	// the defaults when both are zero.
+	StartupDelayMin float64
+	StartupDelayMax float64
+	// InitialConsumers sets the starting consumer count per task type.
+	// Defaults to 1 per microservice when nil.
+	InitialConsumers []int
+	// RequestSizeCV is the coefficient of variation of the per-request
+	// input-size factor that scales all of a workflow request's task
+	// service times. Defaults to 0.3 when zero; the paper attributes
+	// service-time variation to "variant sizes of input data".
+	RequestSizeCV float64
+	// TDSReplicas is the simulated task-dependency-service replica count
+	// (the paper uses a 3-node ZooKeeper ensemble). Defaults to 3.
+	TDSReplicas int
+	// Nodes is the number of simulated machines consumers are placed on
+	// (the paper's testbed has 3 VMs). Defaults to 3.
+	Nodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StartupDelayMin == 0 && c.StartupDelayMax == 0 {
+		c.StartupDelayMin, c.StartupDelayMax = 5, 10
+	}
+	if c.RequestSizeCV == 0 {
+		c.RequestSizeCV = 0.3
+	}
+	if c.TDSReplicas == 0 {
+		c.TDSReplicas = 3
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 3
+	}
+	return c
+}
+
+// Completion records one finished workflow request.
+type Completion struct {
+	// Workflow is the workflow type index.
+	Workflow int
+	// ArrivedAt and CompletedAt are the request's virtual arrival and
+	// completion times; CompletedAt − ArrivedAt is the processing time
+	// ("average delay" numerator) defined in §II-B.
+	ArrivedAt   sim.Time
+	CompletedAt sim.Time
+}
+
+// Delay returns the workflow request's end-to-end processing time.
+func (c Completion) Delay() float64 { return c.CompletedAt - c.ArrivedAt }
+
+// instance tracks one in-flight workflow request through its DAG.
+type instance struct {
+	wf             int
+	arrivedAt      sim.Time
+	sizeFactor     float64
+	remainingPreds []int
+	nodesDone      int
+}
+
+// taskRequest is one node of one workflow instance waiting in (or being
+// served from) a microservice queue.
+type taskRequest struct {
+	inst *instance
+	node int
+}
+
+// microservice is one task type's queue plus consumer pool.
+type microservice struct {
+	queue []*taskRequest
+	// target is the controller-requested consumer count.
+	target int
+	// available is the number of consumers that have finished starting up.
+	available int
+	// busy is the number of consumers currently processing a request.
+	// busy can exceed available transiently after a scale-down: running
+	// tasks finish, they are not preempted.
+	busy int
+	// pendingStarts are the scheduled container start events, cancellable
+	// if the controller scales down before start-up completes.
+	pendingStarts []*sim.Event
+	// inService pairs each in-flight completion event with its request so
+	// failure injection can withdraw and re-deliver work.
+	inService []inServiceEntry
+
+	// Cumulative counters, snapshotted by callers to form window deltas.
+	arrivals    uint64
+	completions uint64
+	// busyIntegral accumulates consumer-busy seconds; busyMark is the time
+	// of the last busy-count change.
+	busyIntegral float64
+	busyMark     sim.Time
+	// serviceSum/serviceCount accumulate realised service durations.
+	serviceSum   float64
+	serviceCount uint64
+}
+
+// inServiceEntry tracks one request being processed and its scheduled
+// completion event.
+type inServiceEntry struct {
+	ev  *sim.Event
+	req *taskRequest
+}
+
+// takeInService removes and returns the i-th in-service entry.
+func (svc *microservice) takeInService(i int) (*sim.Event, *taskRequest) {
+	if i < 0 || i >= len(svc.inService) {
+		return nil, nil
+	}
+	e := svc.inService[i]
+	svc.inService = append(svc.inService[:i], svc.inService[i+1:]...)
+	return e.ev, e.req
+}
+
+// dropInService removes the entry holding ev, if present.
+func (svc *microservice) dropInService(ev *sim.Event) {
+	for i, e := range svc.inService {
+		if e.ev == ev {
+			svc.inService = append(svc.inService[:i], svc.inService[i+1:]...)
+			return
+		}
+	}
+}
+
+// Cluster is the emulated microservice workflow system.
+type Cluster struct {
+	cfg      Config
+	engine   *sim.Engine
+	tds      *workflow.TDS
+	services []*microservice
+	nodes    *nodePool
+
+	serviceRNG *rand.Rand
+	sizeRNG    *rand.Rand
+	startupRNG *rand.Rand
+	failureRNG *rand.Rand
+
+	failures     uint64
+	redeliveries uint64
+
+	// generation invalidates in-flight completion callbacks across resets.
+	generation uint64
+
+	inFlight    int // live workflow instances
+	completions []Completion
+}
+
+// New validates cfg and returns a fresh cluster with all queues empty.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Ensemble == nil || cfg.Engine == nil || cfg.Streams == nil {
+		return nil, fmt.Errorf("cluster: Ensemble, Engine, and Streams are required")
+	}
+	if cfg.StartupDelayMin < 0 || cfg.StartupDelayMax < cfg.StartupDelayMin {
+		return nil, fmt.Errorf("cluster: invalid startup delay range [%g, %g]",
+			cfg.StartupDelayMin, cfg.StartupDelayMax)
+	}
+	tds, err := workflow.NewTDS(cfg.Ensemble, cfg.TDSReplicas)
+	if err != nil {
+		return nil, err
+	}
+	j := cfg.Ensemble.NumTasks()
+	if cfg.InitialConsumers != nil && len(cfg.InitialConsumers) != j {
+		return nil, fmt.Errorf("cluster: InitialConsumers length %d != %d task types",
+			len(cfg.InitialConsumers), j)
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		engine:     cfg.Engine,
+		tds:        tds,
+		nodes:      newNodePool(cfg.Nodes),
+		serviceRNG: cfg.Streams.Stream("cluster/service"),
+		sizeRNG:    cfg.Streams.Stream("cluster/size"),
+		startupRNG: cfg.Streams.Stream("cluster/startup"),
+		failureRNG: cfg.Streams.Stream("cluster/failure"),
+	}
+	for i := 0; i < j; i++ {
+		n := 1
+		if cfg.InitialConsumers != nil {
+			n = cfg.InitialConsumers[i]
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("cluster: negative initial consumers for task %d", i)
+		}
+		c.services = append(c.services, &microservice{target: n, available: n})
+		for k := 0; k < n; k++ {
+			c.nodes.place()
+		}
+	}
+	return c, nil
+}
+
+// Ensemble returns the workflow ensemble the cluster serves.
+func (c *Cluster) Ensemble() *workflow.Ensemble { return c.cfg.Ensemble }
+
+// TDS returns the cluster's task dependency service.
+func (c *Cluster) TDS() *workflow.TDS { return c.tds }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() sim.Time { return c.engine.Now() }
+
+// NumTasks returns the number of microservices (task types).
+func (c *Cluster) NumTasks() int { return len(c.services) }
+
+// Submit enqueues a new request of the given workflow type at the current
+// virtual time (the workflow invoker's role in Figure 1 steps 1–2).
+func (c *Cluster) Submit(wf int) {
+	if wf < 0 || wf >= c.cfg.Ensemble.NumWorkflows() {
+		panic(fmt.Sprintf("cluster: workflow type %d out of range", wf))
+	}
+	wt := c.cfg.Ensemble.Workflows[wf]
+	inst := &instance{
+		wf:             wf,
+		arrivedAt:      c.engine.Now(),
+		sizeFactor:     sim.LogNormal(c.sizeRNG, 1, c.cfg.RequestSizeCV),
+		remainingPreds: make([]int, wt.NumNodes()),
+	}
+	for i := 0; i < wt.NumNodes(); i++ {
+		inst.remainingPreds[i] = len(wt.Predecessors(i))
+	}
+	c.inFlight++
+	for _, root := range c.tds.InitialNodes(wf) {
+		c.enqueue(&taskRequest{inst: inst, node: root})
+	}
+}
+
+// enqueue places a task request on its microservice queue and dispatches.
+func (c *Cluster) enqueue(req *taskRequest) {
+	j := int(c.tds.TaskOf(req.inst.wf, req.node))
+	svc := c.services[j]
+	svc.arrivals++
+	svc.queue = append(svc.queue, req)
+	c.dispatch(j)
+}
+
+// dispatch starts idle consumers on queued requests for microservice j.
+func (c *Cluster) dispatch(j int) {
+	svc := c.services[j]
+	for svc.busy < svc.available && len(svc.queue) > 0 {
+		req := svc.queue[0]
+		// Shift rather than re-slice forever; queues are short-lived and
+		// this keeps the backing array from pinning completed requests.
+		copy(svc.queue, svc.queue[1:])
+		svc.queue = svc.queue[:len(svc.queue)-1]
+
+		c.touchBusy(svc)
+		svc.busy++
+		mean := c.cfg.Ensemble.Tasks[c.tds.TaskOf(req.inst.wf, req.node)].MeanServiceSec
+		cv := c.cfg.Ensemble.Tasks[c.tds.TaskOf(req.inst.wf, req.node)].ServiceCV
+		dur := sim.LogNormal(c.serviceRNG, mean*req.inst.sizeFactor, cv)
+		svc.serviceSum += dur
+		svc.serviceCount++
+		gen := c.generation
+		var ev *sim.Event
+		ev = c.engine.Schedule(dur, func() {
+			if c.generation != gen {
+				return
+			}
+			svc.dropInService(ev)
+			c.complete(j, req)
+		})
+		svc.inService = append(svc.inService, inServiceEntry{ev: ev, req: req})
+	}
+}
+
+// complete finishes one task request: frees its consumer, publishes
+// successor tasks whose predecessors are all done (Figure 1 step 4), and
+// records workflow completion when the instance's last node finishes.
+func (c *Cluster) complete(j int, req *taskRequest) {
+	svc := c.services[j]
+	c.touchBusy(svc)
+	svc.busy--
+	svc.completions++
+
+	inst := req.inst
+	inst.nodesDone++
+	wt := c.cfg.Ensemble.Workflows[inst.wf]
+	for _, succ := range c.tds.SuccessorNodes(inst.wf, req.node) {
+		inst.remainingPreds[succ]--
+		if inst.remainingPreds[succ] == 0 {
+			c.enqueue(&taskRequest{inst: inst, node: succ})
+		}
+	}
+	if inst.nodesDone == wt.NumNodes() {
+		c.inFlight--
+		c.completions = append(c.completions, Completion{
+			Workflow:    inst.wf,
+			ArrivedAt:   inst.arrivedAt,
+			CompletedAt: c.engine.Now(),
+		})
+	}
+	c.dispatch(j)
+}
+
+// touchBusy folds the elapsed busy-consumer time into the busy integral.
+func (c *Cluster) touchBusy(svc *microservice) {
+	now := c.engine.Now()
+	svc.busyIntegral += float64(svc.busy) * (now - svc.busyMark)
+	svc.busyMark = now
+}
+
+// SetConsumers applies a resource-allocation decision m(k): the desired
+// consumer count per microservice. Scale-ups take effect after a simulated
+// container start-up delay (uniform in the configured range, started in
+// parallel, as Kubernetes does); scale-downs are immediate but running
+// tasks are never preempted.
+func (c *Cluster) SetConsumers(target []int) error {
+	if len(target) != len(c.services) {
+		return fmt.Errorf("cluster: target length %d != %d microservices", len(target), len(c.services))
+	}
+	for j, m := range target {
+		if m < 0 {
+			return fmt.Errorf("cluster: negative consumer count %d for task %d", m, j)
+		}
+		c.setTarget(j, m)
+	}
+	return nil
+}
+
+func (c *Cluster) setTarget(j, m int) {
+	svc := c.services[j]
+	svc.target = m
+	committed := svc.available + len(svc.pendingStarts)
+	switch {
+	case m > committed:
+		for i := committed; i < m; i++ {
+			c.startConsumer(j)
+		}
+	case m < committed:
+		// Cancel not-yet-started containers first, newest first.
+		excess := committed - m
+		for excess > 0 && len(svc.pendingStarts) > 0 {
+			ev := svc.pendingStarts[len(svc.pendingStarts)-1]
+			svc.pendingStarts = svc.pendingStarts[:len(svc.pendingStarts)-1]
+			c.engine.Cancel(ev)
+			excess--
+		}
+		// Then retire running/idle consumers immediately (running tasks
+		// complete; the dispatch guard busy < available prevents new work
+		// beyond the reduced pool).
+		for excess > 0 && svc.available > 0 {
+			svc.available--
+			c.nodes.release()
+			excess--
+		}
+	}
+}
+
+// startConsumer schedules one container start for microservice j; the
+// consumer becomes available (and is placed on the least-loaded node)
+// after the start-up delay.
+func (c *Cluster) startConsumer(j int) {
+	svc := c.services[j]
+	delay := sim.Uniform(c.startupRNG, c.cfg.StartupDelayMin, c.cfg.StartupDelayMax)
+	gen := c.generation
+	var ev *sim.Event
+	ev = c.engine.Schedule(delay, func() {
+		if c.generation != gen {
+			return
+		}
+		svc.removePendingStart(ev)
+		svc.available++
+		c.nodes.place()
+		c.dispatch(j)
+	})
+	svc.pendingStarts = append(svc.pendingStarts, ev)
+}
+
+// removePendingStart deletes ev from the pending-start list.
+func (svc *microservice) removePendingStart(ev *sim.Event) {
+	for i, e := range svc.pendingStarts {
+		if e == ev {
+			svc.pendingStarts = append(svc.pendingStarts[:i], svc.pendingStarts[i+1:]...)
+			return
+		}
+	}
+}
+
+// WIP returns the current work-in-progress vector w(k): per microservice,
+// the number of task requests waiting in the queue plus those being
+// processed (§II-B).
+func (c *Cluster) WIP() []float64 {
+	wip := make([]float64, len(c.services))
+	for j, svc := range c.services {
+		wip[j] = float64(len(svc.queue) + svc.busy)
+	}
+	return wip
+}
+
+// QueueLengths returns the per-microservice queue lengths (excluding tasks
+// in service).
+func (c *Cluster) QueueLengths() []int {
+	q := make([]int, len(c.services))
+	for j, svc := range c.services {
+		q[j] = len(svc.queue)
+	}
+	return q
+}
+
+// Consumers returns the per-microservice available (started) consumer
+// counts.
+func (c *Cluster) Consumers() []int {
+	m := make([]int, len(c.services))
+	for j, svc := range c.services {
+		m[j] = svc.available
+	}
+	return m
+}
+
+// Targets returns the most recently requested consumer counts.
+func (c *Cluster) Targets() []int {
+	m := make([]int, len(c.services))
+	for j, svc := range c.services {
+		m[j] = svc.target
+	}
+	return m
+}
+
+// InFlight returns the number of live (incomplete) workflow instances.
+func (c *Cluster) InFlight() int { return c.inFlight }
+
+// AdvanceTo runs the emulation until virtual time t.
+func (c *Cluster) AdvanceTo(t sim.Time) { c.engine.RunUntil(t) }
+
+// DrainCompletions returns the workflow completions recorded since the last
+// call and clears the internal buffer.
+func (c *Cluster) DrainCompletions() []Completion {
+	out := c.completions
+	c.completions = nil
+	return out
+}
+
+// Counters is a snapshot of the cluster's cumulative per-microservice
+// statistics; subtracting two snapshots yields per-window rates for the
+// model-free baselines (DRS needs arrival and service rates, MONAD needs
+// throughput).
+type Counters struct {
+	// Arrivals counts task requests enqueued per microservice.
+	Arrivals []uint64
+	// Completions counts task requests finished per microservice.
+	Completions []uint64
+	// BusySeconds accumulates consumer-busy time per microservice.
+	BusySeconds []float64
+	// ServiceSum and ServiceCount accumulate realised service durations.
+	ServiceSum   []float64
+	ServiceCount []uint64
+}
+
+// Snapshot returns the current cumulative counters.
+func (c *Cluster) Snapshot() Counters {
+	n := len(c.services)
+	s := Counters{
+		Arrivals:     make([]uint64, n),
+		Completions:  make([]uint64, n),
+		BusySeconds:  make([]float64, n),
+		ServiceSum:   make([]float64, n),
+		ServiceCount: make([]uint64, n),
+	}
+	for j, svc := range c.services {
+		c.touchBusy(svc)
+		s.Arrivals[j] = svc.arrivals
+		s.Completions[j] = svc.completions
+		s.BusySeconds[j] = svc.busyIntegral
+		s.ServiceSum[j] = svc.serviceSum
+		s.ServiceCount[j] = svc.serviceCount
+	}
+	return s
+}
+
+// Clear empties every queue and abandons all in-flight work, implementing
+// the instantaneous form of the paper's environment "reset" (§VI-A3:
+// "provision sufficient consumers of each microservice to reduce WIP close
+// to 0"). Consumer pools and cumulative counters are preserved.
+func (c *Cluster) Clear() {
+	c.generation++
+	for _, svc := range c.services {
+		c.touchBusy(svc)
+		svc.queue = nil
+		svc.busy = 0
+		svc.pendingStarts = nil
+		svc.inService = nil
+	}
+	c.inFlight = 0
+	c.completions = nil
+}
+
+// TotalWIP returns the summed work-in-progress across microservices.
+func (c *Cluster) TotalWIP() float64 {
+	var total float64
+	for _, svc := range c.services {
+		total += float64(len(svc.queue) + svc.busy)
+	}
+	return total
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"miras/internal/sim"
+	"miras/internal/workflow"
+)
+
+func TestNodePlacementBalanced(t *testing.T) {
+	c, _ := newTestCluster(t, workflow.NewMSD(), 40, []int{3, 3, 3, 3})
+	loads := c.NodeLoads()
+	if len(loads) != 3 {
+		t.Fatalf("nodes=%d, want 3 (paper testbed)", len(loads))
+	}
+	if c.Imbalance() > 1 {
+		t.Fatalf("initial placement imbalance %d, want ≤1: %v", c.Imbalance(), loads)
+	}
+	total := 0
+	for _, l := range loads {
+		total += l
+	}
+	if total != 12 {
+		t.Fatalf("placed %d consumers, want 12", total)
+	}
+}
+
+func TestNodeBalanceAfterScaling(t *testing.T) {
+	c, engine := newTestCluster(t, workflow.Toy(), 41, []int{1, 1})
+	if err := c.SetConsumers([]int{7, 6}); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(5)
+	if c.Imbalance() > 1 {
+		t.Fatalf("imbalance %d after scale-up: %v", c.Imbalance(), c.NodeLoads())
+	}
+	if err := c.SetConsumers([]int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Imbalance() > 1 {
+		t.Fatalf("imbalance %d after scale-down: %v", c.Imbalance(), c.NodeLoads())
+	}
+}
+
+func TestInjectFailureValidation(t *testing.T) {
+	c, _ := newTestCluster(t, workflow.Toy(), 42, []int{0, 1})
+	if err := c.InjectFailure(-1); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+	if err := c.InjectFailure(5); err == nil {
+		t.Fatal("expected error for out-of-range index")
+	}
+	if err := c.InjectFailure(0); err == nil {
+		t.Fatal("expected error for zero-consumer microservice")
+	}
+}
+
+func TestInjectFailureReplacesConsumer(t *testing.T) {
+	engine := sim.NewEngine()
+	c, err := New(Config{
+		Ensemble:         workflow.Toy(),
+		Engine:           engine,
+		Streams:          sim.NewStreams(43),
+		StartupDelayMin:  5,
+		StartupDelayMax:  10,
+		InitialConsumers: []int{3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectFailure(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Consumers()[0]; got != 2 {
+		t.Fatalf("available=%d immediately after failure, want 2", got)
+	}
+	if c.Failures() != 1 {
+		t.Fatalf("failures=%d", c.Failures())
+	}
+	// The replication controller restores the replica after start-up.
+	engine.RunUntil(15)
+	if got := c.Consumers()[0]; got != 3 {
+		t.Fatalf("available=%d after replacement start-up, want 3", got)
+	}
+}
+
+// TestNoRequestLossUnderFailures is the acknowledgement-mechanism
+// guarantee: kill consumers mid-burst repeatedly; every submitted workflow
+// must still complete.
+func TestNoRequestLossUnderFailures(t *testing.T) {
+	engine := sim.NewEngine()
+	c, err := New(Config{
+		Ensemble:         workflow.NewMSD(),
+		Engine:           engine,
+		Streams:          sim.NewStreams(44),
+		StartupDelayMin:  1,
+		StartupDelayMax:  2,
+		InitialConsumers: []int{3, 3, 3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		c.Submit(i % 3)
+	}
+	// Kill a consumer every 3 virtual seconds for a while.
+	for k := 0; k < 20; k++ {
+		engine.RunUntil(float64(k+1) * 3)
+		j := k % 4
+		if c.Consumers()[j] > 0 {
+			if err := c.InjectFailure(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	engine.RunUntil(10000)
+	done := len(c.DrainCompletions())
+	if done != n {
+		t.Fatalf("completed %d of %d despite ack mechanism (redeliveries=%d)",
+			done, n, c.Redeliveries())
+	}
+	if c.Failures() == 0 {
+		t.Fatal("no failures recorded")
+	}
+}
+
+// TestRedeliveryHappens: with all consumers busy, a failure must requeue
+// the in-flight request rather than dropping it.
+func TestRedeliveryHappens(t *testing.T) {
+	engine := sim.NewEngine()
+	c, err := New(Config{
+		Ensemble:         workflow.Toy(),
+		Engine:           engine,
+		Streams:          sim.NewStreams(45),
+		StartupDelayMin:  1,
+		StartupDelayMax:  2,
+		InitialConsumers: []int{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Submit(0)
+	// The single stage-1 consumer is now busy; killing it must redeliver.
+	if err := c.InjectFailure(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Redeliveries() != 1 {
+		t.Fatalf("redeliveries=%d, want 1", c.Redeliveries())
+	}
+	if got := c.WIP()[0]; got != 1 {
+		t.Fatalf("WIP[0]=%g after redelivery, want 1 (request back in queue)", got)
+	}
+	engine.RunUntil(1000)
+	if got := len(c.DrainCompletions()); got != 1 {
+		t.Fatalf("completions=%d, want 1", got)
+	}
+}
+
+// Property: under arbitrary submit/scale/fail/advance sequences, no
+// workflow is ever lost and node accounting stays non-negative.
+func TestFailureChaosConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		engine := sim.NewEngine()
+		streams := sim.NewStreams(seed)
+		c, err := New(Config{
+			Ensemble:         workflow.NewMSD(),
+			Engine:           engine,
+			Streams:          streams,
+			StartupDelayMin:  1,
+			StartupDelayMax:  2,
+			InitialConsumers: []int{2, 2, 2, 2},
+		})
+		if err != nil {
+			return false
+		}
+		rng := streams.Stream("chaos")
+		submitted := 0
+		now := 0.0
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.Submit(rng.Intn(3))
+				submitted++
+			case 1:
+				j := rng.Intn(4)
+				if c.Consumers()[j] > 0 {
+					if err := c.InjectFailure(j); err != nil {
+						return false
+					}
+				}
+			case 2:
+				target := make([]int, 4)
+				for j := range target {
+					target[j] = 1 + rng.Intn(4)
+				}
+				if err := c.SetConsumers(target); err != nil {
+					return false
+				}
+			case 3:
+				now += rng.Float64() * 10
+				engine.RunUntil(now)
+			}
+			for _, l := range c.NodeLoads() {
+				if l < 0 {
+					return false
+				}
+			}
+		}
+		// Give everything generous time to finish (targets ≥ 1 always).
+		engine.RunUntil(now + 50000)
+		return len(c.DrainCompletions())+c.InFlight() == submitted && c.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package env
+
+import (
+	"fmt"
+
+	"miras/internal/mat"
+)
+
+// SimplexToAllocation converts a point on the probability simplex (the
+// actor network's softmax output) into integer consumer counts using the
+// paper's rule m_j = ⌊C·a_j⌋ (§IV-D). The floor guarantees Σ m_j ≤ C for
+// any simplex input, which is exactly why the paper chose it.
+func SimplexToAllocation(a []float64, budget int) []int {
+	m := make([]int, len(a))
+	for j, v := range a {
+		if v < 0 {
+			v = 0
+		}
+		m[j] = int(float64(budget) * v)
+	}
+	return m
+}
+
+// AllocationToSimplex converts integer consumer counts back to a fractional
+// simplex-like vector a_j = m_j / C, used when encoding actions as model
+// inputs. The result sums to ≤ 1.
+func AllocationToSimplex(m []int, budget int) []float64 {
+	if budget <= 0 {
+		panic(fmt.Sprintf("env: non-positive budget %d", budget))
+	}
+	a := make([]float64, len(m))
+	for j, v := range m {
+		a[j] = float64(v) / float64(budget)
+	}
+	return a
+}
+
+// ProportionalAllocation distributes the full budget across microservices
+// proportionally to the given non-negative weights using largest-remainder
+// rounding, so Σ m_j = budget exactly (unlike the floor rule, nothing is
+// wasted). Zero total weight degenerates to an even split. Several
+// baselines allocate this way.
+func ProportionalAllocation(weights []float64, budget int) []int {
+	j := len(weights)
+	if j == 0 {
+		return nil
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	shares := make([]float64, j)
+	if total == 0 {
+		for i := range shares {
+			shares[i] = float64(budget) / float64(j)
+		}
+	} else {
+		for i, w := range weights {
+			if w > 0 {
+				shares[i] = float64(budget) * w / total
+			}
+		}
+	}
+	m := make([]int, j)
+	remainders := make([]float64, j)
+	assigned := 0
+	for i, s := range shares {
+		m[i] = int(s)
+		remainders[i] = s - float64(m[i])
+		assigned += m[i]
+	}
+	// Hand out the leftover units to the largest remainders.
+	for assigned < budget {
+		best := -1
+		for i, r := range remainders {
+			if best < 0 || r > remainders[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		m[best]++
+		remainders[best] = -1
+		assigned++
+	}
+	return m
+}
+
+// UniformAllocation splits the budget evenly (remainder to the lowest
+// indices), the static baseline.
+func UniformAllocation(j, budget int) []int {
+	if j <= 0 {
+		return nil
+	}
+	m := make([]int, j)
+	base := budget / j
+	rem := budget % j
+	for i := range m {
+		m[i] = base
+		if i < rem {
+			m[i]++
+		}
+	}
+	return m
+}
+
+// TotalAllocation returns Σ m_j.
+func TotalAllocation(m []int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// ValidAllocation reports whether m is within budget with no negative
+// entries.
+func ValidAllocation(m []int, budget int) bool {
+	total := 0
+	for _, v := range m {
+		if v < 0 {
+			return false
+		}
+		total += v
+	}
+	return total <= budget
+}
+
+// ClampToBudget scales an over-budget allocation down proportionally
+// (largest-remainder) so it fits; in-budget allocations are returned
+// unchanged. Baselines that compute ideal consumer counts from queueing
+// formulas use this to respect the constraint.
+func ClampToBudget(m []int, budget int) []int {
+	total := TotalAllocation(m)
+	if total <= budget {
+		return m
+	}
+	weights := make([]float64, len(m))
+	for i, v := range m {
+		weights[i] = float64(v)
+	}
+	return ProportionalAllocation(weights, budget)
+}
+
+// RandomSimplex samples a uniformly random point on the probability simplex
+// (via normalised exponentials), used for the random-action data-collection
+// phase of model learning (§VI-B: "Actions are randomly selected").
+func RandomSimplex(dim int, rng interface{ ExpFloat64() float64 }) []float64 {
+	a := make([]float64, dim)
+	var sum float64
+	for i := range a {
+		a[i] = rng.ExpFloat64()
+		sum += a[i]
+	}
+	if sum == 0 {
+		for i := range a {
+			a[i] = 1 / float64(dim)
+		}
+		return a
+	}
+	mat.VecScale(a, 1/sum)
+	return a
+}

@@ -1,0 +1,121 @@
+package envmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewEnsembleValidation(t *testing.T) {
+	if _, err := NewEnsemble(Config{StateDim: 2, ActionDim: 2}, 0); err == nil {
+		t.Fatal("expected error for zero ensemble size")
+	}
+	if _, err := NewEnsemble(Config{StateDim: 0, ActionDim: 2}, 3); err == nil {
+		t.Fatal("expected error for bad member config")
+	}
+}
+
+func TestEnsembleFitAndPredict(t *testing.T) {
+	d := linearDynamics(800, 2, 50)
+	e, err := NewEnsemble(Config{StateDim: 2, ActionDim: 2, Hidden: []int{16}, Seed: 51}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Size() != 3 {
+		t.Fatalf("Size=%d", e.Size())
+	}
+	if e.Trained() {
+		t.Fatal("untrained ensemble reports trained")
+	}
+	finals, err := e.Fit(d, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finals) != 3 {
+		t.Fatalf("finals=%v", finals)
+	}
+	if !e.Trained() {
+		t.Fatal("trained ensemble reports untrained")
+	}
+	// Mean prediction equals the average of the members.
+	state := []float64{20, 30}
+	action := []float64{0.5, 0.5}
+	got := e.Predict(state, action)
+	want := make([]float64, 2)
+	for _, m := range e.models {
+		p := m.Predict(state, action)
+		want[0] += p[0] / 3
+		want[1] += p[1] / 3
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("ensemble mean %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEnsembleDisagreement(t *testing.T) {
+	d := linearDynamics(400, 2, 52)
+	e, err := NewEnsemble(Config{StateDim: 2, ActionDim: 2, Hidden: []int{12}, Seed: 53}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Fit(d, 5); err != nil {
+		t.Fatal(err)
+	}
+	inDist := e.Disagreement([]float64{20, 20}, []float64{0.5, 0.5})
+	outDist := e.Disagreement([]float64{5000, 5000}, []float64{0.5, 0.5})
+	if inDist < 0 || outDist < 0 {
+		t.Fatal("negative disagreement")
+	}
+	if outDist <= inDist {
+		t.Fatalf("disagreement should grow out of distribution: in=%g out=%g", inDist, outDist)
+	}
+	// Single-member ensemble has zero disagreement by definition.
+	single, err := NewEnsemble(Config{StateDim: 2, ActionDim: 2, Hidden: []int{12}, Seed: 54}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.Fit(d, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := single.Disagreement([]float64{20, 20}, []float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("single-member disagreement %g, want 0", got)
+	}
+}
+
+func TestEnsembleMembersDiffer(t *testing.T) {
+	d := linearDynamics(400, 2, 55)
+	e, err := NewEnsemble(Config{StateDim: 2, ActionDim: 2, Hidden: []int{12}, Seed: 56}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Fit(d, 3); err != nil {
+		t.Fatal(err)
+	}
+	a := e.models[0].Predict([]float64{10, 10}, []float64{0.5, 0.5})
+	b := e.models[1].Predict([]float64{10, 10}, []float64{0.5, 0.5})
+	if a[0] == b[0] && a[1] == b[1] {
+		t.Fatal("ensemble members are identical — seeds not decorrelated")
+	}
+}
+
+func TestEnsembleIsPredictorForSyntheticEnv(t *testing.T) {
+	d := linearDynamics(400, 2, 57)
+	e, err := NewEnsemble(Config{StateDim: 2, ActionDim: 2, Hidden: []int{12}, Seed: 58}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Fit(d, 3); err != nil {
+		t.Fatal(err)
+	}
+	rng := newTestRNG(59)
+	se, err := NewSyntheticEnv(e, d, 10, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Reset()
+	next, _, _ := se.Step([]float64{0.5, 0.5})
+	if len(next) != 2 {
+		t.Fatal("ensemble-backed synthetic env broken")
+	}
+}

@@ -1,0 +1,244 @@
+package envmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"miras/internal/mat"
+	"miras/internal/nn"
+)
+
+// Config parameterises the environment model.
+type Config struct {
+	// StateDim is J, the WIP vector width. Required.
+	StateDim int
+	// ActionDim is the action vector width (J as well in the paper, since
+	// the action is the per-microservice consumer count). Required.
+	ActionDim int
+	// Hidden lists the hidden-layer widths. The paper uses {20, 20, 20}
+	// for MSD and {20} for LIGO (§VI-A3; the smaller LIGO network avoids
+	// overfitting). Defaults to {20, 20, 20}.
+	Hidden []int
+	// LR is the Adam learning rate (default 1e-3).
+	LR float64
+	// Batch is the minibatch size (default 64).
+	Batch int
+	// PredictAbsolute makes the network regress s(k+1) directly, as the
+	// paper's formulation states. The default (false) regresses the state
+	// *delta* s(k+1) − s(k) and adds it back — the reparameterisation of
+	// Nagabandi et al. (the paper's ref. [25]) that removes the dominant
+	// identity component from the learning problem. Deltas are what carry
+	// the inter-service coupling (completions at one microservice filling
+	// the next queue), which absolute regression drowns in state magnitude.
+	PredictAbsolute bool
+	// Seed seeds weight initialisation and batch sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == nil {
+		c.Hidden = []int{20, 20, 20}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	return c
+}
+
+// Model is the neural environment model f̂_Φ: (s(k), a(k)) → ŝ(k+1)
+// (§IV-C1, Figure 4). Inputs and outputs are standardised with statistics
+// refit on every call to Fit.
+type Model struct {
+	cfg     Config
+	net     *nn.Network
+	opt     *nn.Adam
+	rng     *rand.Rand
+	inNorm  *Normalizer
+	outNorm *Normalizer
+
+	// scratch buffers reused across Predict calls.
+	inBuf  []float64
+	outBuf []float64
+	cache  *nn.Cache
+	grads  *nn.Grads
+}
+
+// New builds an untrained model.
+func New(cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDim <= 0 || cfg.ActionDim <= 0 {
+		return nil, fmt.Errorf("envmodel: dims must be positive, got state=%d action=%d",
+			cfg.StateDim, cfg.ActionDim)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := []int{cfg.StateDim + cfg.ActionDim}
+	sizes = append(sizes, cfg.Hidden...)
+	sizes = append(sizes, cfg.StateDim)
+	net := nn.NewNetwork(nn.Config{
+		Sizes:    sizes,
+		Hidden:   nn.ReLU{}, // the paper uses ReLU (§IV-C1)
+		Output:   nn.Identity{},
+		AuxLayer: -1,
+	}, rng)
+	m := &Model{
+		cfg:    cfg,
+		net:    net,
+		opt:    nn.NewAdam(net, nn.AdamConfig{LR: cfg.LR}),
+		rng:    rng,
+		inBuf:  make([]float64, cfg.StateDim+cfg.ActionDim),
+		outBuf: make([]float64, cfg.StateDim),
+		cache:  nn.NewCache(net),
+		grads:  nn.NewGrads(net),
+	}
+	return m, nil
+}
+
+// StateDim returns the model's state width.
+func (m *Model) StateDim() int { return m.cfg.StateDim }
+
+// ActionDim returns the model's action width.
+func (m *Model) ActionDim() int { return m.cfg.ActionDim }
+
+// Trained reports whether Fit has been called at least once.
+func (m *Model) Trained() bool { return m.inNorm != nil }
+
+// Fit (re)fits the normalisation statistics on d and trains the network
+// for the given number of epochs, minimising the one-step squared
+// prediction error of §IV-C1. It returns the mean training loss of each
+// epoch (in normalised units). Repeated calls continue training the same
+// parameters with refreshed statistics — the incremental retraining of
+// Algorithm 2 line 4.
+func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
+	if d.StateDim() != m.cfg.StateDim || d.ActionDim() != m.cfg.ActionDim {
+		return nil, fmt.Errorf("envmodel: dataset dims (%d,%d) != model dims (%d,%d)",
+			d.StateDim(), d.ActionDim(), m.cfg.StateDim, m.cfg.ActionDim)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("envmodel: empty dataset")
+	}
+	if epochs <= 0 {
+		return nil, fmt.Errorf("envmodel: epochs must be positive, got %d", epochs)
+	}
+	// Refit normalisers on the full dataset.
+	ins := make([][]float64, d.Len())
+	outs := make([][]float64, d.Len())
+	for i := 0; i < d.Len(); i++ {
+		t := d.At(i)
+		row := make([]float64, 0, m.cfg.StateDim+m.cfg.ActionDim)
+		row = append(row, t.State...)
+		row = append(row, t.Action...)
+		ins[i] = row
+		outs[i] = m.target(t)
+	}
+	m.inNorm = FitNormalizer(ins)
+	m.outNorm = FitNormalizer(outs)
+
+	batch := make([]Transition, m.cfg.Batch)
+	x := make([]float64, m.cfg.StateDim+m.cfg.ActionDim)
+	target := make([]float64, m.cfg.StateDim)
+	raw := make([]float64, m.cfg.StateDim)
+	dOut := make([]float64, m.cfg.StateDim)
+	stepsPerEpoch := (d.Len() + m.cfg.Batch - 1) / m.cfg.Batch
+
+	losses := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		var epochLoss float64
+		for s := 0; s < stepsPerEpoch; s++ {
+			d.SampleBatch(m.rng, batch)
+			m.grads.Zero()
+			var batchLoss float64
+			for _, t := range batch {
+				copy(x, t.State)
+				copy(x[m.cfg.StateDim:], t.Action)
+				m.inNorm.Apply(x, x)
+				pred := m.net.ForwardCache(m.cache, x, nil)
+				copy(raw, m.target(t))
+				m.outNorm.Apply(target, raw)
+				batchLoss += nn.MSE(dOut, pred, target)
+				m.net.Backward(m.cache, dOut, m.grads)
+			}
+			m.grads.Scale(1 / float64(len(batch)))
+			m.grads.ClipGlobalNorm(5)
+			m.opt.Step(m.grads)
+			epochLoss += batchLoss / float64(len(batch))
+		}
+		losses = append(losses, epochLoss/float64(stepsPerEpoch))
+	}
+	return losses, nil
+}
+
+// Predict returns the raw model prediction ŝ(k+1) = f̂_Φ(s(k), a(k)) in
+// original (denormalised) units. It panics if the model is untrained.
+func (m *Model) Predict(state, action []float64) []float64 {
+	out := make([]float64, m.cfg.StateDim)
+	m.PredictTo(out, state, action)
+	return out
+}
+
+// PredictTo is Predict writing into dst.
+func (m *Model) PredictTo(dst, state, action []float64) {
+	if m.inNorm == nil {
+		panic("envmodel: Predict before Fit")
+	}
+	if len(state) != m.cfg.StateDim || len(action) != m.cfg.ActionDim {
+		panic(fmt.Sprintf("envmodel: predict dims (%d,%d) != (%d,%d)",
+			len(state), len(action), m.cfg.StateDim, m.cfg.ActionDim))
+	}
+	copy(m.inBuf, state)
+	copy(m.inBuf[m.cfg.StateDim:], action)
+	m.inNorm.Apply(m.inBuf, m.inBuf)
+	pred := m.net.ForwardCache(m.cache, m.inBuf, nil)
+	m.outNorm.Invert(dst, pred)
+	if !m.cfg.PredictAbsolute {
+		mat.VecAddScaled(dst, state, 1)
+	}
+}
+
+// target returns the regression target for one transition under the
+// configured parameterisation.
+func (m *Model) target(t Transition) []float64 {
+	if m.cfg.PredictAbsolute {
+		return t.Next
+	}
+	return mat.VecSub(t.Next, t.State)
+}
+
+// TestLoss returns the mean squared one-step prediction error over d in
+// original units — the model-accuracy metric behind Fig. 5's fixed-input
+// curves.
+func (m *Model) TestLoss(d *Dataset) (float64, error) {
+	if d.Len() == 0 {
+		return 0, fmt.Errorf("envmodel: empty test set")
+	}
+	pred := make([]float64, m.cfg.StateDim)
+	var total float64
+	for i := 0; i < d.Len(); i++ {
+		t := d.At(i)
+		m.PredictTo(pred, t.State, t.Action)
+		total += sqDist(pred, t.Next)
+	}
+	return total / float64(d.Len()), nil
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Network exposes the underlying network (for serialisation).
+func (m *Model) Network() *nn.Network { return m.net }
+
+// RewardOf computes the paper's reward (Eq. 1) for a state vector:
+// r = 1 − Σ_j w_j. The model predicts reward "in a similar way" to state
+// (§IV-A); since reward is a deterministic function of next state, it is
+// derived from the state prediction.
+func RewardOf(state []float64) float64 {
+	return 1 - mat.VecSum(state)
+}

@@ -1,0 +1,161 @@
+package envmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"miras/internal/mat"
+)
+
+// Predictor is a one-step dynamics model: state × action → next state.
+// Both the raw Model and the Refiner implement it; policy training is
+// generic over which one it rolls out.
+type Predictor interface {
+	PredictTo(dst, state, action []float64)
+	StateDim() int
+	ActionDim() int
+}
+
+// Compile-time interface checks.
+var (
+	_ Predictor = (*Model)(nil)
+	_ Predictor = (*Refiner)(nil)
+)
+
+// DefaultPercentile is the p used for Algorithm 1's threshold estimation
+// when the caller does not specify one.
+const DefaultPercentile = 20.0
+
+// Refiner wraps a Model with the paper's Lend–Giveback model refinement
+// (Algorithm 1, §IV-C2). Near the WIP boundary (w_j ≈ 0) the raw model's
+// outputs are dominated by environment randomness; the refiner "lends"
+// ρ_j ∼ U(τ_j, ω_j) work to any dimension below its τ_j threshold, queries
+// the model in the well-modelled region, then "gives back" the lent amount
+// from the prediction. Each dimension is lent independently so the
+// adjustment of one dimension does not disturb the others; dimensions above
+// threshold take the unmodified model prediction. All outputs are clamped
+// at 0 (Algorithm 1 line 14).
+type Refiner struct {
+	model *Model
+	// Tau and Omega are the per-dimension p- and (100−p)-percentile
+	// thresholds estimated from the dataset (Algorithm 1 lines 2–4).
+	Tau   []float64
+	Omega []float64
+	rng   *rand.Rand
+
+	// scratch
+	lent []float64
+	base []float64
+	pred []float64
+}
+
+// NewRefiner estimates thresholds from d at percentile p and returns a
+// refiner over model. p must be in (0, 50): τ_j is the p-percentile and
+// ω_j the (100−p)-percentile of dimension j of the observed states.
+func NewRefiner(model *Model, d *Dataset, p float64, rng *rand.Rand) (*Refiner, error) {
+	if p <= 0 || p >= 50 {
+		return nil, fmt.Errorf("envmodel: refinement percentile %g outside (0, 50)", p)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("envmodel: refiner needs a non-empty dataset")
+	}
+	if d.StateDim() != model.StateDim() {
+		return nil, fmt.Errorf("envmodel: refiner dataset state dim %d != model %d",
+			d.StateDim(), model.StateDim())
+	}
+	j := model.StateDim()
+	r := &Refiner{
+		model: model,
+		Tau:   make([]float64, j),
+		Omega: make([]float64, j),
+		rng:   rng,
+		lent:  make([]float64, j),
+		base:  make([]float64, j),
+		pred:  make([]float64, j),
+	}
+	for dim := 0; dim < j; dim++ {
+		col := d.StateColumn(dim)
+		r.Tau[dim] = mat.Percentile(col, p)
+		r.Omega[dim] = mat.Percentile(col, 100-p)
+		if r.Omega[dim] <= r.Tau[dim] {
+			// Degenerate column (e.g. a microservice that never queued);
+			// widen so Uniform(τ, ω) stays valid.
+			r.Omega[dim] = r.Tau[dim] + 1
+		}
+	}
+	return r, nil
+}
+
+// StateDim implements Predictor.
+func (r *Refiner) StateDim() int { return r.model.StateDim() }
+
+// ActionDim implements Predictor.
+func (r *Refiner) ActionDim() int { return r.model.ActionDim() }
+
+// Predict returns the refined prediction as a fresh slice.
+func (r *Refiner) Predict(state, action []float64) []float64 {
+	out := make([]float64, r.StateDim())
+	r.PredictTo(out, state, action)
+	return out
+}
+
+// PredictTo implements Algorithm 1. For each dimension j with s_j < τ_j it
+// computes the model's prediction on the lent input and keeps only
+// dimension j of the result (minus the lent amount); other dimensions take
+// the plain prediction on the true input.
+func (r *Refiner) PredictTo(dst, state, action []float64) {
+	j := r.StateDim()
+	if len(dst) != j || len(state) != j {
+		panic(fmt.Sprintf("envmodel: refiner dims dst=%d state=%d want %d", len(dst), len(state), j))
+	}
+	r.model.PredictTo(r.base, state, action)
+	copy(dst, r.base)
+	for dim := 0; dim < j; dim++ {
+		if state[dim] >= r.Tau[dim] {
+			continue
+		}
+		// Lend: push dimension dim into the well-modelled region.
+		rho := simUniform(r.rng, r.Tau[dim], r.Omega[dim])
+		copy(r.lent, state)
+		r.lent[dim] += rho
+		r.model.PredictTo(r.pred, r.lent, action)
+		// Giveback: take back the lent work on this dimension only.
+		dst[dim] = r.pred[dim] - rho
+	}
+	// WIP is non-negative (Algorithm 1 line 14, applied to every
+	// dimension since all are physical queue populations).
+	for dim := range dst {
+		if dst[dim] < 0 {
+			dst[dim] = 0
+		}
+	}
+}
+
+// simUniform mirrors sim.Uniform without importing the sim package (keeps
+// envmodel's dependencies to mat/nn).
+func simUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Rollout iteratively applies a predictor from an initial state, feeding
+// each prediction back as the next input with a fixed action sequence. It
+// returns the predicted state trajectory (excluding the initial state).
+// This is Fig. 5's "iterative prediction" mode and the basic operation of
+// synthetic policy training. Negative predictions are clamped to 0 between
+// steps so the trajectory stays in the physical state space.
+func Rollout(p Predictor, initial []float64, actions [][]float64) [][]float64 {
+	state := mat.VecClone(initial)
+	out := make([][]float64, 0, len(actions))
+	next := make([]float64, p.StateDim())
+	for _, a := range actions {
+		p.PredictTo(next, state, a)
+		for i := range next {
+			if next[i] < 0 {
+				next[i] = 0
+			}
+		}
+		out = append(out, mat.VecClone(next))
+		copy(state, next)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package envmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"miras/internal/env"
+	"miras/internal/mat"
+)
+
+// SyntheticEnv replays a learnt predictor as an RL training environment —
+// the heart of the model-based approach: the DDPG agent interacts with the
+// refined f̂_Φ instead of the real (slow) microservice system (§IV-D,
+// Algorithm 2 lines 5–8).
+//
+// Actions are points on the probability simplex (the actor's softmax
+// output); they are converted to integer consumer counts with the paper's
+// floor rule and fed to the model as budget fractions, exactly as the real
+// environment's transitions were recorded.
+type SyntheticEnv struct {
+	pred    Predictor
+	data    *Dataset
+	budget  int
+	horizon int
+	rng     *rand.Rand
+
+	state []float64
+	steps int
+}
+
+// NewSyntheticEnv builds a synthetic environment over pred. Rollouts start
+// from states sampled from data (the visited-state distribution) and end
+// after horizon steps — 25 for MSD, 10 for LIGO in the paper (§VI-A3).
+func NewSyntheticEnv(pred Predictor, data *Dataset, budget, horizon int, rng *rand.Rand) (*SyntheticEnv, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("envmodel: predictor is required")
+	}
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("envmodel: synthetic env needs a non-empty dataset")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("envmodel: budget must be positive, got %d", budget)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("envmodel: horizon must be positive, got %d", horizon)
+	}
+	return &SyntheticEnv{
+		pred:    pred,
+		data:    data,
+		budget:  budget,
+		horizon: horizon,
+		rng:     rng,
+		state:   make([]float64, pred.StateDim()),
+	}, nil
+}
+
+// StateDim returns the observation width.
+func (e *SyntheticEnv) StateDim() int { return e.pred.StateDim() }
+
+// ActionDim returns the action (simplex) width.
+func (e *SyntheticEnv) ActionDim() int { return e.pred.ActionDim() }
+
+// Reset starts a new model rollout from a sampled visited state and
+// returns the initial observation.
+func (e *SyntheticEnv) Reset() []float64 {
+	copy(e.state, e.data.SampleState(e.rng))
+	e.steps = 0
+	return mat.VecClone(e.state)
+}
+
+// Step applies a simplex action, advances the model one window, and
+// returns the next state, the reward r = 1 − Σ ŵ (Eq. 1), and whether the
+// rollout horizon was reached.
+func (e *SyntheticEnv) Step(action []float64) (next []float64, reward float64, done bool) {
+	if len(action) != e.ActionDim() {
+		panic(fmt.Sprintf("envmodel: action dim %d != %d", len(action), e.ActionDim()))
+	}
+	m := env.SimplexToAllocation(action, e.budget)
+	frac := env.AllocationToSimplex(m, e.budget)
+	predicted := make([]float64, e.StateDim())
+	e.pred.PredictTo(predicted, e.state, frac)
+	for i := range predicted {
+		if predicted[i] < 0 {
+			predicted[i] = 0
+		}
+	}
+	copy(e.state, predicted)
+	e.steps++
+	return predicted, RewardOf(predicted), e.steps >= e.horizon
+}

@@ -1,0 +1,6 @@
+package envmodel
+
+import "math/rand"
+
+// newTestRNG returns a seeded generator for tests.
+func newTestRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

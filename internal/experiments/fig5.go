@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"miras/internal/env"
+	"miras/internal/envmodel"
+	"miras/internal/mat"
+	"miras/internal/metrics"
+	"miras/internal/trace"
+)
+
+// ModelAccuracyResult carries the Fig. 5 panels for one ensemble: the
+// ground-truth trace versus one-step ("fixed input") and iterative
+// predictions, for the immediate reward (mean of next-state WIP, as the
+// paper plots) and the first WIP dimension.
+type ModelAccuracyResult struct {
+	// RewardTable holds ground-truth / one-step / iterative series of the
+	// mean next-state WIP.
+	RewardTable trace.Table
+	// WIPTable holds the same three series for WIP dimension 0.
+	WIPTable trace.Table
+	// OneStepRMSE and IterRMSE quantify divergence on the reward series.
+	OneStepRMSE float64
+	IterRMSE    float64
+	// TrainPoints and TestPoints record the dataset sizes used.
+	TrainPoints, TestPoints int
+	// FinalTrainLoss is the model's final-epoch training loss.
+	FinalTrainLoss float64
+}
+
+// ModelAccuracy reproduces Fig. 5 for the given setup: collect
+// s.CollectSteps random-action transitions, train the environment model,
+// then collect a fresh s.TestPoints-step trace (random actions held for
+// s.ActionHold steps, as §VI-B specifies) and compare ground truth with
+// fixed-input and iterative predictions.
+func ModelAccuracy(s Setup) (*ModelAccuracyResult, error) {
+	h, err := BuildHarness(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	rng := h.Streams.Stream("experiments/fig5")
+	dataset := envmodel.NewDataset(h.Env.StateDim(), h.Env.StateDim())
+
+	// Phase 1: random-action data collection with periodic resets (and
+	// training bursts, matching the MIRAS collection protocol).
+	hook := trainBurstHook(s, h)
+	if err := collectRandom(h.Env, dataset, rng, s.CollectSteps, s.ResetEvery, hook); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: train the model on everything collected.
+	model, err := envmodel.New(envmodel.Config{
+		StateDim:  h.Env.StateDim(),
+		ActionDim: h.Env.StateDim(),
+		Hidden:    s.ModelHidden,
+		Seed:      s.Seed + 11,
+	})
+	if err != nil {
+		return nil, err
+	}
+	losses, err := model.Fit(dataset, s.ModelEpochs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: held-out test trace with actions held for ActionHold steps.
+	states, actions, err := collectTestTrace(h.Env, rng, s.TestPoints, s.ActionHold)
+	if err != nil {
+		return nil, err
+	}
+
+	// Ground truth, one-step, and iterative series.
+	n := len(actions) // = TestPoints; states has n+1 entries
+	truthReward := make([]float64, n)
+	truthWIP := make([]float64, n)
+	oneReward := make([]float64, n)
+	oneWIP := make([]float64, n)
+	pred := make([]float64, h.Env.StateDim())
+	for k := 0; k < n; k++ {
+		next := states[k+1]
+		truthReward[k] = mat.VecMean(next)
+		truthWIP[k] = next[0]
+		model.PredictTo(pred, states[k], actions[k])
+		clampNonNegative(pred)
+		oneReward[k] = mat.VecMean(pred)
+		oneWIP[k] = pred[0]
+	}
+	iterTraj := envmodel.Rollout(model, states[0], actions)
+	iterReward := make([]float64, n)
+	iterWIP := make([]float64, n)
+	for k, st := range iterTraj {
+		iterReward[k] = mat.VecMean(st)
+		iterWIP[k] = st[0]
+	}
+
+	res := &ModelAccuracyResult{
+		TrainPoints:    dataset.Len(),
+		TestPoints:     n,
+		FinalTrainLoss: losses[len(losses)-1],
+	}
+	res.RewardTable = trace.Table{
+		Title:  fmt.Sprintf("fig5-%s-reward", s.EnsembleName),
+		XLabel: "step", YLabel: "mean next WIP",
+	}
+	res.RewardTable.AddSeries("ground-truth", truthReward)
+	res.RewardTable.AddSeries("one-step", oneReward)
+	res.RewardTable.AddSeries("iterative", iterReward)
+	res.WIPTable = trace.Table{
+		Title:  fmt.Sprintf("fig5-%s-wip0", s.EnsembleName),
+		XLabel: "step", YLabel: "WIP[0]",
+	}
+	res.WIPTable.AddSeries("ground-truth", truthWIP)
+	res.WIPTable.AddSeries("one-step", oneWIP)
+	res.WIPTable.AddSeries("iterative", iterWIP)
+
+	if res.OneStepRMSE, err = metrics.RMSE(truthReward, oneReward); err != nil {
+		return nil, err
+	}
+	if res.IterRMSE, err = metrics.RMSE(truthReward, iterReward); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// collectRandom fills dataset with steps random-action transitions,
+// resetting every resetEvery steps.
+func collectRandom(e *env.Env, dataset *envmodel.Dataset, rng *rand.Rand, steps, resetEvery int, onReset func()) error {
+	state := e.State()
+	for i := 0; i < steps; i++ {
+		if resetEvery > 0 && i%resetEvery == 0 {
+			state = e.Reset()
+			if onReset != nil {
+				onReset()
+				state = e.State()
+			}
+		}
+		simplex := env.RandomSimplex(e.StateDim(), rng)
+		m := env.SimplexToAllocation(simplex, e.Budget())
+		frac := env.AllocationToSimplex(m, e.Budget())
+		res, err := e.Step(m)
+		if err != nil {
+			return fmt.Errorf("experiments: collect step %d: %w", i, err)
+		}
+		dataset.Add(state, frac, res.State)
+		state = res.State
+	}
+	return nil
+}
+
+// collectTestTrace records a contiguous trajectory of `points` transitions
+// where the random action changes every `hold` steps. It returns the
+// visited states (points+1 of them) and the applied action fractions.
+func collectTestTrace(e *env.Env, rng *rand.Rand, points, hold int) (states, actions [][]float64, err error) {
+	if hold <= 0 {
+		hold = 1
+	}
+	states = append(states, mat.VecClone(e.Reset()))
+	var m []int
+	var frac []float64
+	for k := 0; k < points; k++ {
+		if k%hold == 0 {
+			simplex := env.RandomSimplex(e.StateDim(), rng)
+			m = env.SimplexToAllocation(simplex, e.Budget())
+			frac = env.AllocationToSimplex(m, e.Budget())
+		}
+		res, err := e.Step(m)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: test trace step %d: %w", k, err)
+		}
+		states = append(states, mat.VecClone(res.State))
+		actions = append(actions, mat.VecClone(frac))
+	}
+	return states, actions, nil
+}
+
+func clampNonNegative(x []float64) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}

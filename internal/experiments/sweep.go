@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"miras/internal/metrics"
+	"miras/internal/trace"
+	"miras/internal/workflow"
+)
+
+// BudgetSweepResult is the cost–performance curve behind §II-C's
+// constrained-resource motivation: mean burst response time as a function
+// of the total consumer budget C, per controller. It locates the knee the
+// paper's §VI-A4 describes ("a good constraint means we don't have
+// redundant resources ... and also resources should be sufficient").
+type BudgetSweepResult struct {
+	// Budgets lists the swept consumer constraints.
+	Budgets []int
+	// Table has one series per controller; X is the budget.
+	Table trace.Table
+	// Completed[name][i] counts completions at Budgets[i].
+	Completed map[string][]int
+}
+
+// BudgetSweep runs the first paper burst at each budget for each named
+// (non-learning) controller.
+func BudgetSweep(s Setup, algorithms []string, budgets []int) (*BudgetSweepResult, error) {
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("experiments: no budgets to sweep")
+	}
+	ens, ok := workflow.ByName(s.EnsembleName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown ensemble %q", s.EnsembleName)
+	}
+	bursts, err := paperOrFallbackBursts(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &BudgetSweepResult{
+		Budgets:   append([]int(nil), budgets...),
+		Completed: make(map[string][]int),
+	}
+	x := make([]float64, len(budgets))
+	for i, b := range budgets {
+		if b <= 0 {
+			return nil, fmt.Errorf("experiments: budget %d must be positive", b)
+		}
+		x[i] = float64(b)
+	}
+	res.Table = trace.Table{
+		Title:  fmt.Sprintf("budget-sweep-%s", s.EnsembleName),
+		XLabel: "consumer budget C",
+		YLabel: "mean response time (s)",
+		X:      x,
+	}
+	for _, name := range algorithms {
+		delays := make([]float64, 0, len(budgets))
+		completed := make([]int, 0, len(budgets))
+		for _, b := range budgets {
+			sb := s
+			sb.Budget = b
+			ctrl, err := controllerByName(name, sb, ens, nil)
+			if err != nil {
+				return nil, err
+			}
+			series, done, _, err := runScenarioFull(sb, bursts[0], ctrl)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep %s@%d: %w", name, b, err)
+			}
+			delays = append(delays, metrics.Mean(series))
+			completed = append(completed, done)
+		}
+		res.Table.AddSeries(name, delays)
+		res.Completed[name] = completed
+	}
+	return res, nil
+}
+
+// MultiSeedTable reruns a table-producing experiment across seeds and
+// aggregates each series pointwise into mean and mean±std bands — honest
+// error bars for stochastic experiments. Series are matched by name; all
+// runs must produce the same series set.
+func MultiSeedTable(base Setup, seeds []int64, run func(Setup) (*trace.Table, error)) (*trace.Table, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	// collected[name][seedIdx] = series values.
+	collected := make(map[string][][]float64)
+	var order []string
+	var template *trace.Table
+	for _, seed := range seeds {
+		s := base
+		s.Seed = seed
+		t, err := run(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		if template == nil {
+			template = t
+			for _, series := range t.Series {
+				order = append(order, series.Name)
+			}
+		}
+		if len(t.Series) != len(order) {
+			return nil, fmt.Errorf("experiments: seed %d produced %d series, want %d",
+				seed, len(t.Series), len(order))
+		}
+		for _, series := range t.Series {
+			collected[series.Name] = append(collected[series.Name], series.Values)
+		}
+	}
+	out := &trace.Table{
+		Title:  template.Title + "-multiseed",
+		XLabel: template.XLabel,
+		YLabel: template.YLabel,
+		X:      template.X,
+	}
+	for _, name := range order {
+		runs := collected[name]
+		n := 0
+		for _, r := range runs {
+			if len(r) > n {
+				n = len(r)
+			}
+		}
+		mean := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var point []float64
+			for _, r := range runs {
+				if i < len(r) {
+					point = append(point, r[i])
+				}
+			}
+			m := metrics.Mean(point)
+			sd := metrics.Std(point)
+			mean[i] = m
+			lo[i] = m - sd
+			hi[i] = m + sd
+		}
+		out.AddSeries(name, mean)
+		out.AddSeries(name+"-lo", lo)
+		out.AddSeries(name+"-hi", hi)
+	}
+	return out, nil
+}

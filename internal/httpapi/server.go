@@ -1,0 +1,334 @@
+// Package httpapi exposes the emulated microservice workflow environment
+// over HTTP so agents written in any language can train against it — the
+// gym-server pattern. Sessions are independent environments; each step
+// applies an allocation for one control window and returns the paper's
+// observables (WIP state, Eq. 1 reward, window statistics).
+//
+// Endpoints (JSON request/response bodies):
+//
+//	GET    /v1/ensembles              list built-in ensembles
+//	POST   /v1/sessions               create a session
+//	GET    /v1/sessions/{id}          session info
+//	POST   /v1/sessions/{id}/step     apply an allocation, advance a window
+//	POST   /v1/sessions/{id}/reset    clear WIP
+//	POST   /v1/sessions/{id}/burst    inject a request burst
+//	DELETE /v1/sessions/{id}          destroy a session
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"miras/internal/cluster"
+	"miras/internal/env"
+	"miras/internal/sim"
+	"miras/internal/workflow"
+	"miras/internal/workload"
+)
+
+// Server is the HTTP handler. It is safe for concurrent use; each session
+// is single-threaded internally and guarded by the server lock (the
+// discrete-event engine is not concurrent).
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+	// MaxSessions bounds live sessions (default 64).
+	MaxSessions int
+}
+
+// session is one live environment.
+type session struct {
+	id        string
+	ensemble  string
+	env       *env.Env
+	generator *workload.Generator
+	windows   int
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{sessions: make(map[string]*session), MaxSessions: 64}
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/ensembles", s.handleEnsembles)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
+	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
+	mux.HandleFunc("POST /v1/sessions/{id}/reset", s.handleReset)
+	mux.HandleFunc("POST /v1/sessions/{id}/burst", s.handleBurst)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	return mux
+}
+
+// --- wire types ---
+
+// EnsembleInfo describes one built-in ensemble.
+type EnsembleInfo struct {
+	Name      string   `json:"name"`
+	Tasks     []string `json:"tasks"`
+	Workflows []string `json:"workflows"`
+}
+
+// CreateRequest configures a new session.
+type CreateRequest struct {
+	// Ensemble is "msd", "ligo", or "toy". Required.
+	Ensemble string `json:"ensemble"`
+	// Budget is the consumer constraint C. Required, positive.
+	Budget int `json:"budget"`
+	// WindowSec is the control window (default 30).
+	WindowSec float64 `json:"window_sec,omitempty"`
+	// Seed drives all randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Rates are per-workflow Poisson rates; defaults to the ensemble's
+	// standard background load.
+	Rates []float64 `json:"rates,omitempty"`
+}
+
+// SessionInfo describes a live session.
+type SessionInfo struct {
+	ID        string    `json:"id"`
+	Ensemble  string    `json:"ensemble"`
+	StateDim  int       `json:"state_dim"`
+	Budget    int       `json:"budget"`
+	WindowSec float64   `json:"window_sec"`
+	Windows   int       `json:"windows"`
+	State     []float64 `json:"state"`
+}
+
+// StepRequest applies one allocation.
+type StepRequest struct {
+	// Allocation is m(k): consumers per microservice, Σ ≤ budget.
+	Allocation []int `json:"allocation"`
+}
+
+// StepResponse reports one window's outcome.
+type StepResponse struct {
+	State          []float64 `json:"state"`
+	Reward         float64   `json:"reward"`
+	Window         int       `json:"window"`
+	Consumers      []int     `json:"consumers"`
+	ArrivalRate    []float64 `json:"arrival_rate"`
+	CompletionRate []float64 `json:"completion_rate"`
+	Utilization    []float64 `json:"utilization"`
+	Completed      int       `json:"completed"`
+	MeanDelaySec   float64   `json:"mean_delay_sec"`
+}
+
+// BurstRequest injects requests.
+type BurstRequest struct {
+	// Counts is the number of requests per workflow type.
+	Counts []int `json:"counts"`
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleEnsembles(w http.ResponseWriter, _ *http.Request) {
+	var out []EnsembleInfo
+	for _, name := range []string{"msd", "ligo", "toy"} {
+		e, _ := workflow.ByName(name)
+		out = append(out, EnsembleInfo{
+			Name:      name,
+			Tasks:     e.TaskNames(),
+			Workflows: e.WorkflowNames(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	ens, ok := workflow.ByName(req.Ensemble)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown ensemble %q", req.Ensemble))
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	engine := sim.NewEngine()
+	streams := sim.NewStreams(req.Seed)
+	c, err := cluster.New(cluster.Config{Ensemble: ens, Engine: engine, Streams: streams})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rates := req.Rates
+	if rates == nil {
+		rates = workload.DefaultRates(ens)
+	}
+	gen, err := workload.NewGenerator(c, streams, engine, rates)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	gen.Start()
+	e, err := env.New(env.Config{
+		Cluster:   c,
+		Generator: gen,
+		Budget:    req.Budget,
+		WindowSec: req.WindowSec,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessions) >= s.MaxSessions {
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit %d reached", s.MaxSessions))
+		return
+	}
+	s.nextID++
+	sess := &session{
+		id:        "s" + strconv.Itoa(s.nextID),
+		ensemble:  req.Ensemble,
+		env:       e,
+		generator: gen,
+	}
+	s.sessions[sess.id] = sess
+	writeJSON(w, http.StatusCreated, s.infoLocked(sess))
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.infoLocked(sess))
+}
+
+func (s *Server) infoLocked(sess *session) SessionInfo {
+	return SessionInfo{
+		ID:        sess.id,
+		Ensemble:  sess.ensemble,
+		StateDim:  sess.env.StateDim(),
+		Budget:    sess.env.Budget(),
+		WindowSec: sess.env.WindowSec(),
+		Windows:   sess.windows,
+		State:     sess.env.State(),
+	}
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req StepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	res, err := sess.env.Step(req.Allocation)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	sess.windows++
+	writeJSON(w, http.StatusOK, StepResponse{
+		State:          res.State,
+		Reward:         res.Reward,
+		Window:         res.Stats.Window,
+		Consumers:      res.Stats.Consumers,
+		ArrivalRate:    res.Stats.ArrivalRate,
+		CompletionRate: res.Stats.CompletionRate,
+		Utilization:    res.Stats.Utilization,
+		Completed:      len(res.Stats.Completions),
+		MeanDelaySec:   res.Stats.MeanDelay(),
+	})
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	state := sess.env.Reset()
+	writeJSON(w, http.StatusOK, map[string][]float64{"state": state})
+}
+
+func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
+	var req BurstRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[r.PathValue("id")]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	if err := sess.generator.InjectBurst(req.Counts); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]float64{"state": sess.env.State()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := r.PathValue("id")
+	if _, ok := s.sessions[id]; !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	delete(s.sessions, id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after headers are written can only be logged; for
+	// these small payloads they do not occur in practice.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// Validate checks strings that arrive in URLs; exported for tests.
+func validateID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/ ") {
+		return fmt.Errorf("invalid session id %q", id)
+	}
+	return nil
+}

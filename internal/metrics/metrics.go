@@ -1,0 +1,148 @@
+// Package metrics provides the summary statistics used to compare
+// reproduced experiment series against the paper's qualitative claims:
+// means, dispersion, RMSE between trajectories, and simple smoothing.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs (0 for fewer than
+// two values).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, v := range xs {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// RMSE returns the root-mean-square error between two equal-length series.
+func RMSE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: RMSE over series of length %d and %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(a))), nil
+}
+
+// MAE returns the mean absolute error between two equal-length series.
+func MAE(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: MAE over series of length %d and %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range a {
+		sum += math.Abs(a[i] - b[i])
+	}
+	return sum / float64(len(a)), nil
+}
+
+// MovingAverage returns the k-point trailing moving average of xs (the
+// first k−1 points average what is available).
+func MovingAverage(xs []float64, k int) []float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("metrics: window %d must be positive", k))
+	}
+	out := make([]float64, len(xs))
+	var sum float64
+	for i, v := range xs {
+		sum += v
+		if i >= k {
+			sum -= xs[i-k]
+		}
+		n := k
+		if i+1 < k {
+			n = i + 1
+		}
+		out[i] = sum / float64(n)
+	}
+	return out
+}
+
+// AUC returns the sum of the series — for response-time traces, lower
+// total area means faster burst recovery, the headline comparison of
+// Figs. 7–8.
+func AUC(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// TailMean returns the mean of the final frac of the series (e.g. 0.25 for
+// the last quarter) — the "long-term return" comparison in §VI-D. It
+// panics unless 0 < frac ≤ 1.
+func TailMean(xs []float64, frac float64) float64 {
+	if frac <= 0 || frac > 1 {
+		panic(fmt.Sprintf("metrics: TailMean frac %g outside (0,1]", frac))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	start := len(xs) - int(math.Ceil(float64(len(xs))*frac))
+	if start < 0 {
+		start = 0
+	}
+	return Mean(xs[start:])
+}
+
+// Max returns the maximum of xs; it panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: Max of empty series")
+	}
+	best := xs[0]
+	for _, v := range xs[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// ArgCrossBelow returns the first index at which xs drops to or below
+// threshold and stays there for the remainder of the series, or -1 if it
+// never settles. Used to measure burst-recovery time.
+func ArgCrossBelow(xs []float64, threshold float64) int {
+	settled := -1
+	for i, v := range xs {
+		if v <= threshold {
+			if settled < 0 {
+				settled = i
+			}
+		} else {
+			settled = -1
+		}
+	}
+	return settled
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean=%g", got)
+	}
+	if got := Std([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Std=%g, want 2", got)
+	}
+	if Std([]float64{1}) != 0 {
+		t.Fatal("Std single != 0")
+	}
+}
+
+func TestRMSEAndMAE(t *testing.T) {
+	r, err := RMSE([]float64{1, 2}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("RMSE=%g", r)
+	}
+	m, err := MAE([]float64{1, 2}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1 {
+		t.Fatalf("MAE=%g", m)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected RMSE length error")
+	}
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected MAE length error")
+	}
+	if r, _ := RMSE(nil, nil); r != 0 {
+		t.Fatal("empty RMSE should be 0")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	got := MovingAverage([]float64{1, 2, 3, 4}, 2)
+	want := []float64{1, 1.5, 2.5, 3.5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MovingAverage=%v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero window")
+		}
+	}()
+	MovingAverage([]float64{1}, 0)
+}
+
+func TestAUCAndMax(t *testing.T) {
+	if AUC([]float64{1, 2, 3}) != 6 {
+		t.Fatal("AUC wrong")
+	}
+	if Max([]float64{1, 5, 2}) != 5 {
+		t.Fatal("Max wrong")
+	}
+}
+
+func TestTailMean(t *testing.T) {
+	if got := TailMean([]float64{10, 10, 2, 4}, 0.5); got != 3 {
+		t.Fatalf("TailMean=%g, want 3", got)
+	}
+	if got := TailMean([]float64{7}, 1); got != 7 {
+		t.Fatalf("TailMean full=%g", got)
+	}
+	if TailMean(nil, 0.5) != 0 {
+		t.Fatal("TailMean(nil) != 0")
+	}
+}
+
+func TestArgCrossBelow(t *testing.T) {
+	// Settles below 5 from index 3 onward.
+	xs := []float64{10, 3, 8, 4, 2, 1}
+	if got := ArgCrossBelow(xs, 5); got != 3 {
+		t.Fatalf("ArgCrossBelow=%d, want 3", got)
+	}
+	if got := ArgCrossBelow([]float64{9, 9}, 5); got != -1 {
+		t.Fatalf("never-settling series gave %d", got)
+	}
+	if got := ArgCrossBelow([]float64{1}, 5); got != 0 {
+		t.Fatalf("immediately-settled series gave %d", got)
+	}
+}

@@ -1,0 +1,60 @@
+package nn
+
+import "fmt"
+
+// MSE returns the mean squared error between pred and target,
+// ½·mean_i (pred_i − target_i)², and writes the gradient with respect to
+// pred into dPred (which must have the same length). The ½ factor keeps the
+// gradient free of a stray 2.
+func MSE(dPred, pred, target []float64) float64 {
+	if len(pred) != len(target) || len(dPred) != len(pred) {
+		panic(fmt.Sprintf("nn: MSE length mismatch %d/%d/%d", len(dPred), len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	invN := 1 / float64(len(pred))
+	var loss float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += 0.5 * d * d * invN
+		dPred[i] = d * invN
+	}
+	return loss
+}
+
+// HuberLoss returns the Huber loss between pred and target with threshold
+// delta, writing the gradient into dPred. Huber is used by the critic
+// trainer as a robust alternative to MSE when TD errors are heavy-tailed.
+func HuberLoss(dPred, pred, target []float64, delta float64) float64 {
+	if len(pred) != len(target) || len(dPred) != len(pred) {
+		panic(fmt.Sprintf("nn: Huber length mismatch %d/%d/%d", len(dPred), len(pred), len(target)))
+	}
+	if delta <= 0 {
+		panic("nn: Huber delta must be positive")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	invN := 1 / float64(len(pred))
+	var loss float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		abs := d
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs <= delta {
+			loss += 0.5 * d * d * invN
+			dPred[i] = d * invN
+		} else {
+			loss += delta * (abs - 0.5*delta) * invN
+			if d > 0 {
+				dPred[i] = delta * invN
+			} else {
+				dPred[i] = -delta * invN
+			}
+		}
+	}
+	return loss
+}

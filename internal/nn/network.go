@@ -1,0 +1,364 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"miras/internal/mat"
+)
+
+// Dense is one fully connected layer: out = act(W·in + b).
+type Dense struct {
+	// W is the out×in weight matrix.
+	W *mat.Matrix
+	// B is the bias vector, one entry per output unit.
+	B []float64
+	// Act is the layer's activation.
+	Act Activation
+}
+
+// InDim returns the layer's input dimension.
+func (d *Dense) InDim() int { return d.W.Cols }
+
+// OutDim returns the layer's output dimension.
+func (d *Dense) OutDim() int { return d.W.Rows }
+
+// Network is a multilayer perceptron with an optional auxiliary input
+// injected at one layer. When AuxLayer ≥ 0, layer AuxLayer receives the
+// concatenation of the previous layer's output and the auxiliary vector —
+// the construction the paper uses for the DDPG critic, which takes the
+// action at its second layer.
+type Network struct {
+	// Layers are the dense layers in forward order.
+	Layers []*Dense
+	// AuxLayer is the index of the layer that receives the auxiliary input
+	// appended to its regular input, or -1 if the network has no auxiliary
+	// input.
+	AuxLayer int
+	// AuxDim is the auxiliary input dimension (0 if AuxLayer < 0).
+	AuxDim int
+}
+
+// Config describes a Network for construction by NewNetwork.
+type Config struct {
+	// Sizes lists the layer widths from input to output, e.g.
+	// {8, 20, 20, 4} builds a network with two 20-unit hidden layers.
+	Sizes []int
+	// Hidden is the activation for every layer except the last. Defaults
+	// to ReLU when nil.
+	Hidden Activation
+	// Output is the activation of the final layer. Defaults to Identity
+	// when nil.
+	Output Activation
+	// AuxLayer, if ≥ 0, is the layer index that receives an auxiliary
+	// input of dimension AuxDim concatenated to its regular input.
+	AuxLayer int
+	// AuxDim is the auxiliary input width; must be > 0 iff AuxLayer ≥ 0.
+	AuxDim int
+}
+
+// NewNetwork builds a randomly initialised network. Layers with ReLU
+// activations use He initialisation; all other layers use Xavier.
+func NewNetwork(cfg Config, rng *rand.Rand) *Network {
+	if len(cfg.Sizes) < 2 {
+		panic(fmt.Sprintf("nn: need at least input and output sizes, got %v", cfg.Sizes))
+	}
+	hidden := cfg.Hidden
+	if hidden == nil {
+		hidden = ReLU{}
+	}
+	output := cfg.Output
+	if output == nil {
+		output = Identity{}
+	}
+	auxLayer, auxDim := cfg.AuxLayer, cfg.AuxDim
+	if auxLayer < 0 {
+		auxDim = 0
+	}
+	if auxLayer >= 0 && auxDim <= 0 {
+		panic("nn: AuxLayer set but AuxDim is not positive")
+	}
+	nLayers := len(cfg.Sizes) - 1
+	if auxLayer >= nLayers {
+		panic(fmt.Sprintf("nn: AuxLayer %d out of range for %d layers", auxLayer, nLayers))
+	}
+	net := &Network{AuxLayer: -1}
+	if auxLayer >= 0 {
+		net.AuxLayer = auxLayer
+		net.AuxDim = auxDim
+	}
+	for l := 0; l < nLayers; l++ {
+		in, out := cfg.Sizes[l], cfg.Sizes[l+1]
+		if l == auxLayer {
+			in += auxDim
+		}
+		act := hidden
+		if l == nLayers-1 {
+			act = output
+		}
+		var w *mat.Matrix
+		if _, isReLU := act.(ReLU); isReLU {
+			w = mat.NewHe(out, in, in, rng)
+		} else {
+			w = mat.NewXavier(out, in, rng)
+		}
+		net.Layers = append(net.Layers, &Dense{W: w, B: make([]float64, out), Act: act})
+	}
+	return net
+}
+
+// InDim returns the primary input dimension.
+func (n *Network) InDim() int {
+	in := n.Layers[0].InDim()
+	if n.AuxLayer == 0 {
+		in -= n.AuxDim
+	}
+	return in
+}
+
+// OutDim returns the output dimension.
+func (n *Network) OutDim() int { return n.Layers[len(n.Layers)-1].OutDim() }
+
+// Cache stores the intermediate activations of one forward pass so Backward
+// can compute gradients. A Cache may be reused across passes through the
+// same network to avoid allocation.
+type Cache struct {
+	// inputs[l] is the (possibly aux-extended) input vector fed to layer l.
+	inputs [][]float64
+	// outputs[l] is the post-activation output of layer l.
+	outputs [][]float64
+	// dPre is scratch for the pre-activation gradient, one slice per layer.
+	dPre [][]float64
+}
+
+// NewCache allocates a cache sized for network n.
+func NewCache(n *Network) *Cache {
+	c := &Cache{
+		inputs:  make([][]float64, len(n.Layers)),
+		outputs: make([][]float64, len(n.Layers)),
+		dPre:    make([][]float64, len(n.Layers)),
+	}
+	for l, layer := range n.Layers {
+		c.inputs[l] = make([]float64, layer.InDim())
+		c.outputs[l] = make([]float64, layer.OutDim())
+		c.dPre[l] = make([]float64, layer.OutDim())
+	}
+	return c
+}
+
+// Output returns the final layer's output from the most recent forward pass
+// through this cache. The slice aliases cache storage.
+func (c *Cache) Output() []float64 { return c.outputs[len(c.outputs)-1] }
+
+// Forward runs the network on x (and aux, if the network has an auxiliary
+// input; pass nil otherwise) and returns the output as a fresh slice.
+func (n *Network) Forward(x, aux []float64) []float64 {
+	c := NewCache(n)
+	n.ForwardCache(c, x, aux)
+	return mat.VecClone(c.Output())
+}
+
+// ForwardCache runs the network on x (and aux) storing intermediates in c.
+// The returned slice aliases the cache and is valid until the next pass.
+func (n *Network) ForwardCache(c *Cache, x, aux []float64) []float64 {
+	if n.AuxLayer >= 0 {
+		if len(aux) != n.AuxDim {
+			panic(fmt.Sprintf("nn: aux length %d != AuxDim %d", len(aux), n.AuxDim))
+		}
+	} else if aux != nil {
+		panic("nn: aux input passed to network without AuxLayer")
+	}
+	cur := x
+	for l, layer := range n.Layers {
+		in := c.inputs[l]
+		if l == n.AuxLayer {
+			if len(cur)+len(aux) != layer.InDim() {
+				panic(fmt.Sprintf("nn: layer %d input %d+aux %d != %d", l, len(cur), len(aux), layer.InDim()))
+			}
+			copy(in, cur)
+			copy(in[len(cur):], aux)
+		} else {
+			if len(cur) != layer.InDim() {
+				panic(fmt.Sprintf("nn: layer %d input length %d != %d", l, len(cur), layer.InDim()))
+			}
+			copy(in, cur)
+		}
+		out := c.outputs[l]
+		layer.W.MulVecTo(out, in)
+		mat.VecAddScaled(out, layer.B, 1)
+		layer.Act.Apply(out, out)
+		cur = out
+	}
+	return cur
+}
+
+// Grads accumulates parameter gradients for a Network. Layout parallels the
+// network's layers.
+type Grads struct {
+	// W[l] accumulates the weight gradient of layer l.
+	W []*mat.Matrix
+	// B[l] accumulates the bias gradient of layer l.
+	B [][]float64
+}
+
+// NewGrads allocates a zeroed gradient accumulator shaped like n.
+func NewGrads(n *Network) *Grads {
+	g := &Grads{}
+	for _, layer := range n.Layers {
+		g.W = append(g.W, mat.New(layer.OutDim(), layer.InDim()))
+		g.B = append(g.B, make([]float64, layer.OutDim()))
+	}
+	return g
+}
+
+// Zero clears all accumulated gradients.
+func (g *Grads) Zero() {
+	for l := range g.W {
+		g.W[l].Zero()
+		for i := range g.B[l] {
+			g.B[l][i] = 0
+		}
+	}
+}
+
+// Scale multiplies all accumulated gradients by s.
+func (g *Grads) Scale(s float64) {
+	for l := range g.W {
+		g.W[l].Scale(s)
+		mat.VecScale(g.B[l], s)
+	}
+}
+
+// GlobalNorm returns the Euclidean norm of all gradients taken together,
+// used for gradient clipping.
+func (g *Grads) GlobalNorm() float64 {
+	var sum float64
+	for l := range g.W {
+		for _, v := range g.W[l].Data {
+			sum += v * v
+		}
+		for _, v := range g.B[l] {
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// ClipGlobalNorm rescales the gradients so their global norm is at most
+// maxNorm. It reports whether clipping occurred.
+func (g *Grads) ClipGlobalNorm(maxNorm float64) bool {
+	norm := g.GlobalNorm()
+	if norm <= maxNorm || norm == 0 {
+		return false
+	}
+	g.Scale(maxNorm / norm)
+	return true
+}
+
+// Backward backpropagates dOut — the gradient of the loss with respect to
+// the network output of the forward pass recorded in c — accumulating
+// parameter gradients into g (which must be pre-allocated with NewGrads and
+// is NOT zeroed here, so minibatch gradients can be summed). It returns the
+// gradient with respect to the primary input x and, when the network has an
+// auxiliary input, with respect to aux (nil otherwise).
+func (n *Network) Backward(c *Cache, dOut []float64, g *Grads) (dX, dAux []float64) {
+	last := len(n.Layers) - 1
+	if len(dOut) != n.Layers[last].OutDim() {
+		panic(fmt.Sprintf("nn: dOut length %d != output dim %d", len(dOut), n.Layers[last].OutDim()))
+	}
+	dCur := mat.VecClone(dOut)
+	for l := last; l >= 0; l-- {
+		layer := n.Layers[l]
+		dPre := c.dPre[l]
+		layer.Act.Backprop(dPre, c.outputs[l], dCur)
+		// Parameter gradients: dW += dPre ⊗ input, dB += dPre.
+		g.W[l].AddOuterScaled(dPre, c.inputs[l], 1)
+		mat.VecAddScaled(g.B[l], dPre, 1)
+		// Input gradient: dIn = Wᵀ · dPre.
+		dIn := make([]float64, layer.InDim())
+		layer.W.MulVecTransTo(dIn, dPre)
+		if l == n.AuxLayer {
+			split := layer.InDim() - n.AuxDim
+			dAux = dIn[split:]
+			dIn = dIn[:split]
+		}
+		dCur = dIn
+	}
+	return dCur, dAux
+}
+
+// Clone returns a deep copy of the network (same architecture, copied
+// parameters). Used to create target networks.
+func (n *Network) Clone() *Network {
+	out := &Network{AuxLayer: n.AuxLayer, AuxDim: n.AuxDim}
+	for _, layer := range n.Layers {
+		out.Layers = append(out.Layers, &Dense{
+			W:   layer.W.Clone(),
+			B:   mat.VecClone(layer.B),
+			Act: layer.Act,
+		})
+	}
+	return out
+}
+
+// CopyParamsFrom overwrites n's parameters with src's. Architectures must
+// match.
+func (n *Network) CopyParamsFrom(src *Network) {
+	n.mustMatch(src)
+	for l, layer := range n.Layers {
+		layer.W.CopyFrom(src.Layers[l].W)
+		copy(layer.B, src.Layers[l].B)
+	}
+}
+
+// SoftUpdateFrom moves n's parameters toward src's by fraction tau:
+// θ ← (1−τ)·θ + τ·θ_src. This is the DDPG target-network update.
+func (n *Network) SoftUpdateFrom(src *Network, tau float64) {
+	n.mustMatch(src)
+	for l, layer := range n.Layers {
+		layer.W.Scale(1 - tau)
+		layer.W.AddScaled(src.Layers[l].W, tau)
+		for i := range layer.B {
+			layer.B[i] = (1-tau)*layer.B[i] + tau*src.Layers[l].B[i]
+		}
+	}
+}
+
+// PerturbFrom sets n's parameters to src's plus i.i.d. Gaussian noise with
+// standard deviation sigma. This implements parameter-space exploration:
+// the perturbed copy acts in the environment while src is trained.
+func (n *Network) PerturbFrom(src *Network, sigma float64, rng *rand.Rand) {
+	n.mustMatch(src)
+	for l, layer := range n.Layers {
+		srcLayer := src.Layers[l]
+		for i := range layer.W.Data {
+			layer.W.Data[i] = srcLayer.W.Data[i] + rng.NormFloat64()*sigma
+		}
+		for i := range layer.B {
+			layer.B[i] = srcLayer.B[i] + rng.NormFloat64()*sigma
+		}
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	var total int
+	for _, layer := range n.Layers {
+		total += len(layer.W.Data) + len(layer.B)
+	}
+	return total
+}
+
+func (n *Network) mustMatch(src *Network) {
+	if len(n.Layers) != len(src.Layers) {
+		panic(fmt.Sprintf("nn: network layer count mismatch %d vs %d", len(n.Layers), len(src.Layers)))
+	}
+	for l, layer := range n.Layers {
+		s := src.Layers[l]
+		if layer.InDim() != s.InDim() || layer.OutDim() != s.OutDim() {
+			panic(fmt.Sprintf("nn: layer %d shape mismatch %dx%d vs %dx%d",
+				l, layer.OutDim(), layer.InDim(), s.OutDim(), s.InDim()))
+		}
+	}
+}

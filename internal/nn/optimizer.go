@@ -1,0 +1,126 @@
+package nn
+
+import (
+	"math"
+
+	"miras/internal/mat"
+)
+
+// Optimizer applies accumulated gradients to a network's parameters.
+// Implementations own per-parameter state (momenta) and must be constructed
+// against the specific network they will update.
+type Optimizer interface {
+	// Step applies the gradients in g to the optimizer's network,
+	// interpreting g as the gradient of a loss to MINIMISE.
+	Step(g *Grads)
+}
+
+// Compile-time interface checks.
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	net      *Network
+	lr       float64
+	momentum float64
+	velocity *Grads
+}
+
+// NewSGD returns an SGD optimizer for net with the given learning rate and
+// momentum coefficient (0 disables momentum).
+func NewSGD(net *Network, lr, momentum float64) *SGD {
+	s := &SGD{net: net, lr: lr, momentum: momentum}
+	if momentum != 0 {
+		s.velocity = NewGrads(net)
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(g *Grads) {
+	for l, layer := range s.net.Layers {
+		if s.velocity != nil {
+			vw := s.velocity.W[l]
+			vw.Scale(s.momentum)
+			vw.AddScaled(g.W[l], 1)
+			layer.W.AddScaled(vw, -s.lr)
+			vb := s.velocity.B[l]
+			for i := range vb {
+				vb[i] = s.momentum*vb[i] + g.B[l][i]
+				layer.B[i] -= s.lr * vb[i]
+			}
+		} else {
+			layer.W.AddScaled(g.W[l], -s.lr)
+			mat.VecAddScaled(layer.B, g.B[l], -s.lr)
+		}
+	}
+}
+
+// AdamConfig parameterises an Adam optimizer. Zero-valued fields take the
+// conventional defaults from Kingma & Ba (2015).
+type AdamConfig struct {
+	// LR is the learning rate (default 1e-3).
+	LR float64
+	// Beta1 is the first-moment decay (default 0.9).
+	Beta1 float64
+	// Beta2 is the second-moment decay (default 0.999).
+	Beta2 float64
+	// Eps is the denominator fuzz (default 1e-8).
+	Eps float64
+}
+
+func (c AdamConfig) withDefaults() AdamConfig {
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Beta1 == 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 == 0 {
+		c.Beta2 = 0.999
+	}
+	if c.Eps == 0 {
+		c.Eps = 1e-8
+	}
+	return c
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015) with bias-corrected
+// first and second moment estimates.
+type Adam struct {
+	net  *Network
+	cfg  AdamConfig
+	m, v *Grads
+	t    int
+}
+
+// NewAdam returns an Adam optimizer for net.
+func NewAdam(net *Network, cfg AdamConfig) *Adam {
+	return &Adam{net: net, cfg: cfg.withDefaults(), m: NewGrads(net), v: NewGrads(net)}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(g *Grads) {
+	a.t++
+	c := a.cfg
+	corr1 := 1 - math.Pow(c.Beta1, float64(a.t))
+	corr2 := 1 - math.Pow(c.Beta2, float64(a.t))
+	for l, layer := range a.net.Layers {
+		mw, vw, gw := a.m.W[l].Data, a.v.W[l].Data, g.W[l].Data
+		w := layer.W.Data
+		for i, gi := range gw {
+			mw[i] = c.Beta1*mw[i] + (1-c.Beta1)*gi
+			vw[i] = c.Beta2*vw[i] + (1-c.Beta2)*gi*gi
+			w[i] -= c.LR * (mw[i] / corr1) / (math.Sqrt(vw[i]/corr2) + c.Eps)
+		}
+		mb, vb, gb := a.m.B[l], a.v.B[l], g.B[l]
+		for i, gi := range gb {
+			mb[i] = c.Beta1*mb[i] + (1-c.Beta1)*gi
+			vb[i] = c.Beta2*vb[i] + (1-c.Beta2)*gi*gi
+			layer.B[i] -= c.LR * (mb[i] / corr1) / (math.Sqrt(vb[i]/corr2) + c.Eps)
+		}
+	}
+}

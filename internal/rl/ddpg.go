@@ -1,0 +1,536 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"miras/internal/mat"
+	"miras/internal/nn"
+)
+
+// Environment is what the DDPG agent trains against: either the synthetic
+// model-backed environment (MIRAS) or the real emulated cluster (the
+// model-free baseline). Actions are points on the probability simplex.
+type Environment interface {
+	// Reset starts a new episode and returns the initial state.
+	Reset() []float64
+	// Step applies an action and returns the next state, reward, and
+	// whether the episode ended.
+	Step(action []float64) (next []float64, reward float64, done bool)
+	// StateDim and ActionDim give the observation and action widths.
+	StateDim() int
+	ActionDim() int
+}
+
+// ExplorationKind selects the exploration mechanism.
+type ExplorationKind int
+
+const (
+	// ParamSpaceNoise perturbs the actor's parameters with adaptive
+	// Gaussian noise — the paper's choice (§IV-D): the perturbed policy's
+	// softmax output is still a valid simplex, so the budget constraint
+	// always holds.
+	ParamSpaceNoise ExplorationKind = iota
+	// ActionSpaceNoise adds OU noise to the emitted action — the original
+	// DDPG scheme, kept for the ablation; perturbed actions are clamped
+	// and renormalised to stay on the simplex (without which most of them
+	// would violate the constraint, the paper's stated failure mode).
+	ActionSpaceNoise
+	// NoNoise disables exploration (pure exploitation; evaluation mode).
+	NoNoise
+)
+
+// Config parameterises a DDPG agent. Zero values take the listed defaults.
+type Config struct {
+	// StateDim and ActionDim are the environment's dimensions. Required.
+	StateDim  int
+	ActionDim int
+	// Hidden lists the actor's hidden-layer widths; the critic mirrors
+	// them with the action injected at the second layer, as in §VI-A3.
+	// Defaults to {64, 64, 64}; the paper's full-scale runs use
+	// {256, 256, 256} (MSD) and {512, 512, 512} (LIGO).
+	Hidden []int
+	// ActorLR and CriticLR are Adam learning rates (defaults 1e-4, 1e-3).
+	ActorLR  float64
+	CriticLR float64
+	// Gamma is the discount factor (default 0.99).
+	Gamma float64
+	// Tau is the target-network soft-update rate (default 0.01).
+	Tau float64
+	// BatchSize is the update minibatch size (default 64).
+	BatchSize int
+	// ReplayCapacity bounds the replay buffer (default 100000).
+	ReplayCapacity int
+	// RewardScale multiplies rewards before critic training; WIP-sum
+	// rewards reach the hundreds during bursts, so training uses a small
+	// scale (default 0.01).
+	RewardScale float64
+	// Exploration selects the exploration mechanism (default
+	// ParamSpaceNoise, the paper's).
+	Exploration ExplorationKind
+	// NoiseSigma is the initial parameter-noise σ or the OU σ
+	// (default 0.05).
+	NoiseSigma float64
+	// NoiseTargetDelta is the action-space distance target δ for adaptive
+	// parameter noise (default 0.05).
+	NoiseTargetDelta float64
+	// EntropyBonus weights an entropy term added to the actor objective
+	// (maximise Q + β·H(π(s))). The softmax actor otherwise saturates to a
+	// one-hot allocation early in training and its gradients vanish —
+	// starving all but one microservice permanently (default 0.01; 0.001
+	// effectively disables it, negative values panic).
+	EntropyBonus float64
+	// HuberDelta is the critic loss transition point between quadratic and
+	// linear regimes. Burst states produce rewards two orders of magnitude
+	// larger than calm states; Huber keeps those targets from dominating
+	// the critic fit (default 1; set very large to approximate MSE).
+	HuberDelta float64
+	// Seed seeds network initialisation, sampling, and noise.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == nil {
+		c.Hidden = []int{64, 64, 64}
+	}
+	if c.ActorLR == 0 {
+		c.ActorLR = 1e-4
+	}
+	if c.CriticLR == 0 {
+		c.CriticLR = 1e-3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.95
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.01
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.ReplayCapacity == 0 {
+		c.ReplayCapacity = 100000
+	}
+	if c.RewardScale == 0 {
+		c.RewardScale = 0.01
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.05
+	}
+	if c.NoiseTargetDelta == 0 {
+		c.NoiseTargetDelta = 0.05
+	}
+	if c.EntropyBonus == 0 {
+		c.EntropyBonus = 0.05
+	}
+	if c.EntropyBonus < 0 {
+		panic("rl: negative entropy bonus")
+	}
+	if c.HuberDelta == 0 {
+		c.HuberDelta = 1
+	}
+	return c
+}
+
+// DDPG is the deep deterministic policy gradient agent with the paper's
+// architecture: a softmax actor μ_Θ producing a consumer-share distribution
+// and a critic Q(s, a) receiving the action at its second layer.
+type DDPG struct {
+	cfg Config
+
+	actor, actorTarget   *nn.Network
+	critic, criticTarget *nn.Network
+	perturbed            *nn.Network
+
+	actorOpt, criticOpt *nn.Adam
+	replay              *ReplayBuffer
+	rng                 *rand.Rand
+
+	pnoise  *ParamNoise
+	ounoise *OUNoise
+
+	norm *runningNorm
+
+	// rawNoiseViolations counts ActionSpaceNoise samples that, before
+	// simplex projection, were not valid distributions (negative entries
+	// or mass ≠ 1) — i.e. the actions the paper's §IV-D calls "invalid
+	// exploration". rawNoiseTotal counts all ActionSpaceNoise samples.
+	rawNoiseViolations uint64
+	rawNoiseTotal      uint64
+
+	// scratch
+	batch             []Experience
+	actorCache        *nn.Cache
+	criticCache       *nn.Cache
+	actorTargetCache  *nn.Cache
+	criticTargetCache *nn.Cache
+	actorGrads        *nn.Grads
+	criticGrads       *nn.Grads
+	logBuf            []float64
+	updates           uint64
+}
+
+// NewDDPG builds an agent.
+func NewDDPG(cfg Config) (*DDPG, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDim <= 0 || cfg.ActionDim <= 0 {
+		return nil, fmt.Errorf("rl: dims must be positive, got state=%d action=%d",
+			cfg.StateDim, cfg.ActionDim)
+	}
+	if len(cfg.Hidden) < 2 {
+		return nil, fmt.Errorf("rl: need at least 2 hidden layers for second-layer action injection, got %d",
+			len(cfg.Hidden))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	actorSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
+	actorSizes = append(actorSizes, cfg.ActionDim)
+	actor := nn.NewNetwork(nn.Config{
+		Sizes: actorSizes, Hidden: nn.Tanh{}, Output: nn.Softmax{}, AuxLayer: -1,
+	}, rng)
+
+	criticSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
+	criticSizes = append(criticSizes, 1)
+	critic := nn.NewNetwork(nn.Config{
+		Sizes: criticSizes, Hidden: nn.Tanh{}, Output: nn.Identity{},
+		AuxLayer: 1, AuxDim: cfg.ActionDim, // action enters the second layer (§VI-A3)
+	}, rng)
+
+	d := &DDPG{
+		cfg:          cfg,
+		actor:        actor,
+		actorTarget:  actor.Clone(),
+		critic:       critic,
+		criticTarget: critic.Clone(),
+		perturbed:    actor.Clone(),
+		actorOpt:     nn.NewAdam(actor, nn.AdamConfig{LR: cfg.ActorLR}),
+		criticOpt:    nn.NewAdam(critic, nn.AdamConfig{LR: cfg.CriticLR}),
+		replay:       NewReplayBuffer(cfg.ReplayCapacity),
+		rng:          rng,
+		norm:         newRunningNorm(cfg.StateDim),
+		batch:        make([]Experience, cfg.BatchSize),
+		logBuf:       make([]float64, cfg.StateDim),
+		actorGrads:   nn.NewGrads(actor),
+		criticGrads:  nn.NewGrads(critic),
+	}
+	// DDPG-style small uniform init on the output layers (Lillicrap et
+	// al. use ±3e-3): the actor starts near the uniform simplex instead of
+	// a saturated softmax, and the critic starts near zero value.
+	smallFinalLayer(actor, rng)
+	smallFinalLayer(critic, rng)
+	d.actorTarget.CopyParamsFrom(actor)
+	d.criticTarget.CopyParamsFrom(critic)
+	d.perturbed.CopyParamsFrom(actor)
+	d.actorCache = nn.NewCache(d.actor)
+	d.criticCache = nn.NewCache(d.critic)
+	d.actorTargetCache = nn.NewCache(d.actorTarget)
+	d.criticTargetCache = nn.NewCache(d.criticTarget)
+	switch cfg.Exploration {
+	case ParamSpaceNoise:
+		d.pnoise = NewParamNoise(cfg.NoiseSigma, cfg.NoiseTargetDelta)
+		d.perturbed.PerturbFrom(d.actor, d.pnoise.Sigma, rng)
+	case ActionSpaceNoise:
+		d.ounoise = NewOUNoise(cfg.ActionDim, cfg.NoiseSigma, rng)
+	case NoNoise:
+	default:
+		return nil, fmt.Errorf("rl: unknown exploration kind %d", cfg.Exploration)
+	}
+	return d, nil
+}
+
+// Config returns the resolved configuration.
+func (d *DDPG) Config() Config { return d.cfg }
+
+// ReplayLen returns the number of stored experiences.
+func (d *DDPG) ReplayLen() int { return d.replay.Len() }
+
+// NoiseSigma returns the current parameter-noise σ (0 when not using
+// parameter noise).
+func (d *DDPG) NoiseSigma() float64 {
+	if d.pnoise == nil {
+		return 0
+	}
+	return d.pnoise.Sigma
+}
+
+// Act returns the deterministic policy action μ_Θ(s) — a simplex vector.
+func (d *DDPG) Act(state []float64) []float64 {
+	return d.actor.Forward(d.normalize(state), nil)
+}
+
+// ActExplore returns an exploratory action according to the configured
+// mechanism. The result is always a valid simplex (non-negative, sums
+// to 1).
+func (d *DDPG) ActExplore(state []float64) []float64 {
+	ns := d.normalize(state)
+	switch d.cfg.Exploration {
+	case ParamSpaceNoise:
+		return d.perturbed.Forward(ns, nil)
+	case ActionSpaceNoise:
+		a := d.actor.Forward(ns, nil)
+		noise := d.ounoise.Sample()
+		violated := false
+		var sum float64
+		for i := range a {
+			a[i] += noise[i]
+			if a[i] < 0 {
+				violated = true
+			}
+			sum += a[i]
+		}
+		if sum > 1+1e-9 {
+			violated = true
+		}
+		d.rawNoiseTotal++
+		if violated {
+			d.rawNoiseViolations++
+		}
+		projectSimplex(a)
+		return a
+	default:
+		return d.actor.Forward(ns, nil)
+	}
+}
+
+// BeginEpisode re-perturbs the exploration policy (parameter noise is
+// resampled per episode, per Plappert et al.) and adapts σ from the
+// measured action distance on recent states.
+func (d *DDPG) BeginEpisode() {
+	switch d.cfg.Exploration {
+	case ParamSpaceNoise:
+		d.adaptParamNoise()
+		d.perturbed.PerturbFrom(d.actor, d.pnoise.Sigma, d.rng)
+	case ActionSpaceNoise:
+		d.ounoise.Reset()
+	}
+}
+
+// adaptParamNoise measures d(π, π̃) on a replay minibatch and adjusts σ.
+func (d *DDPG) adaptParamNoise() {
+	if d.replay.Len() == 0 {
+		return
+	}
+	n := d.cfg.BatchSize
+	if n > d.replay.Len() {
+		n = d.replay.Len()
+	}
+	sample := make([]Experience, n)
+	d.replay.Sample(d.rng, sample)
+	plain := make([][]float64, n)
+	noisy := make([][]float64, n)
+	for i, e := range sample {
+		ns := d.normalize(e.State)
+		plain[i] = d.actor.Forward(ns, nil)
+		noisy[i] = d.perturbed.Forward(ns, nil)
+	}
+	d.pnoise.Adapt(ActionDistance(plain, noisy))
+}
+
+// Observe stores a transition in the replay buffer and updates state
+// normalisation statistics.
+func (d *DDPG) Observe(e Experience) {
+	d.norm.update(logCompress(d.logBuf, e.State))
+	d.replay.Add(e)
+}
+
+// Update performs one minibatch DDPG update (critic TD regression, actor
+// policy-gradient ascent, target soft updates) and returns the critic loss
+// and the mean Q-value of the actor's actions (the ascent objective). It
+// is a no-op returning zeros until the replay buffer holds one batch.
+func (d *DDPG) Update() (criticLoss, meanQ float64) {
+	if d.replay.Len() < d.cfg.BatchSize {
+		return 0, 0
+	}
+	d.replay.Sample(d.rng, d.batch)
+	cfg := d.cfg
+
+	// ---- Critic update: minimise (Q(s,a) − y)² with
+	// y = r·scale + γ·Q'(s', μ'(s')).
+	d.criticGrads.Zero()
+	var loss float64
+	dOut := []float64{0}
+	for _, e := range d.batch {
+		// The normalizer reuses one buffer, so consume the next-state
+		// pass fully before normalising the current state.
+		nnext := d.normalize(e.Next)
+		targetAction := d.actorTarget.ForwardCache(d.actorTargetCache, nnext, nil)
+		nextQ := d.criticTarget.ForwardCache(d.criticTargetCache, nnext, targetAction)[0]
+		y := e.Reward*cfg.RewardScale + cfg.Gamma*nextQ
+		ns := d.normalize(e.State)
+		q := d.critic.ForwardCache(d.criticCache, ns, e.Action)
+		loss += nn.HuberLoss(dOut, q, []float64{y}, cfg.HuberDelta)
+		d.critic.Backward(d.criticCache, dOut, d.criticGrads)
+	}
+	d.criticGrads.Scale(1 / float64(len(d.batch)))
+	d.criticGrads.ClipGlobalNorm(5)
+	d.criticOpt.Step(d.criticGrads)
+	criticLoss = loss / float64(len(d.batch))
+
+	// ---- Actor update: ascend ∇_Θ μ_Θ(s) · ∇_a Q(s, a)|_{a=μ(s)}.
+	d.actorGrads.Zero()
+	var qSum float64
+	for _, e := range d.batch {
+		ns := d.normalize(e.State)
+		action := d.actor.ForwardCache(d.actorCache, ns, nil)
+		q := d.critic.ForwardCache(d.criticCache, ns, action)
+		qSum += q[0]
+		// ∂Q/∂a via the critic's aux-input gradient; critic params get
+		// throwaway gradients.
+		scratch := d.criticGrads
+		scratch.Zero()
+		_, dAction := d.critic.Backward(d.criticCache, []float64{1}, scratch)
+		// Minimise −(Q + β·H(π)) ⇒ dOut_i = (−∂Q/∂a_i + β(log a_i + 1))/N.
+		// The entropy term's gradient ∂H/∂a_i = −(log a_i + 1).
+		//
+		// ∂Q/∂a is normalised to unit L2 per sample before use: the critic
+		// restricted to the simplex is close to linear, so its raw action
+		// gradient points at a vertex with unbounded magnitude, saturating
+		// the softmax long before the critic's value estimates are
+		// trustworthy. Direction-only ascent (cf. the inverting-gradients
+		// treatment of bounded action spaces) keeps the entropy term
+		// commensurate at every Q scale.
+		dA := mat.VecClone(dAction)
+		if n := mat.VecNorm(dA); n > 1 {
+			mat.VecScale(dA, 1/n)
+		}
+		mat.VecScale(dA, -1)
+		if cfg.EntropyBonus > 0 {
+			for i, ai := range action {
+				if ai < 1e-8 {
+					ai = 1e-8
+				}
+				dA[i] += cfg.EntropyBonus * (math.Log(ai) + 1)
+			}
+		}
+		mat.VecScale(dA, 1/float64(len(d.batch)))
+		d.actor.Backward(d.actorCache, dA, d.actorGrads)
+	}
+	d.actorGrads.ClipGlobalNorm(5)
+	d.actorOpt.Step(d.actorGrads)
+	meanQ = qSum / float64(len(d.batch))
+
+	// ---- Target soft updates.
+	d.actorTarget.SoftUpdateFrom(d.actor, cfg.Tau)
+	d.criticTarget.SoftUpdateFrom(d.critic, cfg.Tau)
+	d.updates++
+	return criticLoss, meanQ
+}
+
+// Updates returns the number of completed minibatch updates.
+func (d *DDPG) Updates() uint64 { return d.updates }
+
+// RawNoiseViolations reports how many ActionSpaceNoise exploration samples
+// were invalid before projection, out of how many drawn — quantifying the
+// §IV-D "invalid exploration" failure mode that parameter-space noise
+// avoids by construction.
+func (d *DDPG) RawNoiseViolations() (violations, total uint64) {
+	return d.rawNoiseViolations, d.rawNoiseTotal
+}
+
+// Actor returns the current deterministic policy network.
+func (d *DDPG) Actor() *nn.Network { return d.actor }
+
+// RestoreActorParams overwrites the policy (and its target and perturbed
+// copies) with src's parameters. The MIRAS agent uses it to roll back to
+// the best-evaluating policy at the end of training.
+func (d *DDPG) RestoreActorParams(src *nn.Network) {
+	d.actor.CopyParamsFrom(src)
+	d.actorTarget.CopyParamsFrom(src)
+	d.perturbed.CopyParamsFrom(src)
+}
+
+// normalize returns the state standardised by the running statistics.
+// States pass through log1p first: WIP coordinates span four orders of
+// magnitude between idle and burst conditions, and a linear standardiser
+// would leave the calm regime with no resolution.
+func (d *DDPG) normalize(state []float64) []float64 {
+	return d.norm.apply(logCompress(d.logBuf, state))
+}
+
+// logCompress writes log(1+x) per coordinate into dst (clamping negatives
+// to 0) and returns dst.
+func logCompress(dst, x []float64) []float64 {
+	for i, v := range x {
+		if v < 0 {
+			v = 0
+		}
+		dst[i] = math.Log1p(v)
+	}
+	return dst
+}
+
+// smallFinalLayer reinitialises a network's output layer with uniform
+// ±3e-3 weights and zero bias.
+func smallFinalLayer(n *nn.Network, rng *rand.Rand) {
+	last := n.Layers[len(n.Layers)-1]
+	for i := range last.W.Data {
+		last.W.Data[i] = (rng.Float64()*2 - 1) * 3e-3
+	}
+	for i := range last.B {
+		last.B[i] = 0
+	}
+}
+
+// projectSimplex clamps negatives to zero and renormalises so the vector is
+// a valid categorical distribution; a degenerate all-zero vector becomes
+// uniform.
+func projectSimplex(a []float64) {
+	var sum float64
+	for i, v := range a {
+		if v < 0 {
+			a[i] = 0
+		} else {
+			sum += v
+		}
+	}
+	if sum <= 0 {
+		for i := range a {
+			a[i] = 1 / float64(len(a))
+		}
+		return
+	}
+	mat.VecScale(a, 1/sum)
+}
+
+// runningNorm keeps Welford running mean/variance per state coordinate.
+type runningNorm struct {
+	count float64
+	mean  []float64
+	m2    []float64
+	buf   []float64
+}
+
+func newRunningNorm(dim int) *runningNorm {
+	return &runningNorm{
+		mean: make([]float64, dim),
+		m2:   make([]float64, dim),
+		buf:  make([]float64, dim),
+	}
+}
+
+func (r *runningNorm) update(x []float64) {
+	r.count++
+	for i, v := range x {
+		delta := v - r.mean[i]
+		r.mean[i] += delta / r.count
+		r.m2[i] += delta * (v - r.mean[i])
+	}
+}
+
+// apply returns the standardised vector, reusing an internal buffer (valid
+// until the next call).
+func (r *runningNorm) apply(x []float64) []float64 {
+	if r.count < 2 {
+		copy(r.buf, x)
+		return r.buf
+	}
+	for i, v := range x {
+		std := math.Sqrt(r.m2[i] / r.count)
+		if std < 1e-6 {
+			std = 1
+		}
+		r.buf[i] = (v - r.mean[i]) / std
+	}
+	return r.buf
+}

@@ -1,0 +1,100 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OUNoise is Ornstein–Uhlenbeck action noise — the exploration mechanism of
+// the original DDPG paper, kept here as the action-space-noise baseline for
+// the ablation in §IV-D (the paper reports that adding noise to the output
+// action "performs poorly" because perturbed actions violate the budget
+// constraint).
+type OUNoise struct {
+	theta, sigma, mu float64
+	state            []float64
+	rng              *rand.Rand
+}
+
+// NewOUNoise returns an OU process of the given dimension:
+// dx = θ(μ−x)dt + σ dW, with the conventional θ=0.15, σ as given.
+func NewOUNoise(dim int, sigma float64, rng *rand.Rand) *OUNoise {
+	if dim <= 0 {
+		panic(fmt.Sprintf("rl: OU noise dim must be positive, got %d", dim))
+	}
+	return &OUNoise{theta: 0.15, sigma: sigma, mu: 0, state: make([]float64, dim), rng: rng}
+}
+
+// Sample advances the process one step and returns the noise vector (a view
+// of internal state; copy if retained).
+func (o *OUNoise) Sample() []float64 {
+	for i := range o.state {
+		o.state[i] += o.theta*(o.mu-o.state[i]) + o.sigma*o.rng.NormFloat64()
+	}
+	return o.state
+}
+
+// Reset zeroes the process state (between episodes).
+func (o *OUNoise) Reset() {
+	for i := range o.state {
+		o.state[i] = 0
+	}
+}
+
+// ParamNoise holds the adaptive scale of parameter-space exploration
+// (Plappert et al., 2018). The perturbation's standard deviation σ is
+// adjusted so that the distance it induces in action space tracks a target
+// δ: too-small induced distance grows σ, too-large shrinks it.
+type ParamNoise struct {
+	// Sigma is the current parameter-noise standard deviation.
+	Sigma float64
+	// Target is δ, the desired action-space distance.
+	Target float64
+	// Alpha is the multiplicative adaptation factor (> 1).
+	Alpha float64
+}
+
+// NewParamNoise returns an adaptive scale starting at sigma with target
+// action distance delta and adaptation factor 1.01 (the reference value
+// from Plappert et al.).
+func NewParamNoise(sigma, delta float64) *ParamNoise {
+	if sigma <= 0 || delta <= 0 {
+		panic(fmt.Sprintf("rl: param noise sigma=%g delta=%g must be positive", sigma, delta))
+	}
+	return &ParamNoise{Sigma: sigma, Target: delta, Alpha: 1.01}
+}
+
+// Adapt updates σ from the measured action-space distance between the
+// unperturbed and perturbed policies.
+func (p *ParamNoise) Adapt(distance float64) {
+	if math.IsNaN(distance) || math.IsInf(distance, 0) {
+		return
+	}
+	if distance < p.Target {
+		p.Sigma *= p.Alpha
+	} else {
+		p.Sigma /= p.Alpha
+	}
+}
+
+// ActionDistance measures the RMS action-space distance between two sets of
+// action vectors — the d(π, π̃) that drives adaptation.
+func ActionDistance(a, b [][]float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic(fmt.Sprintf("rl: ActionDistance over %d vs %d action sets", len(a), len(b)))
+	}
+	var sum float64
+	var n int
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			panic("rl: ActionDistance dimension mismatch")
+		}
+		for j := range a[i] {
+			d := a[i][j] - b[i][j]
+			sum += d * d
+			n++
+		}
+	}
+	return math.Sqrt(sum / float64(n))
+}

@@ -1,0 +1,80 @@
+// Package rl implements the reinforcement-learning machinery MIRAS builds
+// on: a replay buffer, the DDPG actor–critic algorithm (Lillicrap et al.,
+// 2016) over the paper's softmax action parameterisation, and the
+// parameter-space exploration noise of Plappert et al. (2018) that §IV-D
+// adopts because action-space noise keeps violating the consumer-budget
+// constraint.
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"miras/internal/mat"
+)
+
+// Experience is one transition observed by the agent. Action is the
+// simplex vector the actor emitted (pre-floor), so the critic learns in the
+// same action space the actor outputs.
+type Experience struct {
+	State  []float64
+	Action []float64
+	Next   []float64
+	Reward float64
+	// Done marks the end of an episode (rollout horizon). The paper's
+	// horizons are time limits rather than true terminal states, so the
+	// critic still bootstraps across them; Done is kept for bookkeeping.
+	Done bool
+}
+
+// ReplayBuffer is a fixed-capacity ring buffer of experiences with uniform
+// sampling.
+type ReplayBuffer struct {
+	buf  []Experience
+	next int
+	full bool
+}
+
+// NewReplayBuffer returns a buffer holding at most capacity experiences.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: replay capacity must be positive, got %d", capacity))
+	}
+	return &ReplayBuffer{buf: make([]Experience, 0, capacity)}
+}
+
+// Add stores e, copying its slices, evicting the oldest experience when
+// full.
+func (b *ReplayBuffer) Add(e Experience) {
+	stored := Experience{
+		State:  mat.VecClone(e.State),
+		Action: mat.VecClone(e.Action),
+		Next:   mat.VecClone(e.Next),
+		Reward: e.Reward,
+		Done:   e.Done,
+	}
+	if len(b.buf) < cap(b.buf) {
+		b.buf = append(b.buf, stored)
+		return
+	}
+	b.full = true
+	b.buf[b.next] = stored
+	b.next = (b.next + 1) % cap(b.buf)
+}
+
+// Len returns the number of stored experiences.
+func (b *ReplayBuffer) Len() int { return len(b.buf) }
+
+// Cap returns the buffer capacity.
+func (b *ReplayBuffer) Cap() int { return cap(b.buf) }
+
+// Sample fills batch with uniformly sampled experiences (with
+// replacement). It panics on an empty buffer.
+func (b *ReplayBuffer) Sample(rng *rand.Rand, batch []Experience) {
+	if len(b.buf) == 0 {
+		panic("rl: sampling from empty replay buffer")
+	}
+	for i := range batch {
+		batch[i] = b.buf[rng.Intn(len(b.buf))]
+	}
+}

@@ -1,0 +1,91 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"miras/internal/mat"
+	"miras/internal/nn"
+)
+
+// PolicySnapshot is a trained policy frozen for deployment: the actor
+// network together with the state-normalisation statistics it was trained
+// with. A bare actor network is not enough — Act standardises (log-
+// compressed) states with running statistics, and a policy replayed
+// without them sees differently scaled inputs.
+type PolicySnapshot struct {
+	// Actor is the deterministic policy network.
+	Actor *nn.Network `json:"actor"`
+	// NormCount, NormMean, and NormM2 are the Welford accumulator state of
+	// the agent's log1p-state normaliser.
+	NormCount float64   `json:"norm_count"`
+	NormMean  []float64 `json:"norm_mean"`
+	NormM2    []float64 `json:"norm_m2"`
+}
+
+// Snapshot freezes the agent's current deterministic policy.
+func (d *DDPG) Snapshot() *PolicySnapshot {
+	return &PolicySnapshot{
+		Actor:     d.actor.Clone(),
+		NormCount: d.norm.count,
+		NormMean:  mat.VecClone(d.norm.mean),
+		NormM2:    mat.VecClone(d.norm.m2),
+	}
+}
+
+// Save writes the snapshot to path as JSON.
+func (s *PolicySnapshot) Save(path string) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("rl: marshal policy snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("rl: save policy snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadPolicySnapshot reads a snapshot written by Save and validates its
+// internal consistency.
+func LoadPolicySnapshot(path string) (*PolicySnapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("rl: load policy snapshot: %w", err)
+	}
+	var s PolicySnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("rl: decode policy snapshot: %w", err)
+	}
+	if s.Actor == nil || len(s.Actor.Layers) == 0 {
+		return nil, fmt.Errorf("rl: snapshot has no actor network")
+	}
+	dim := s.Actor.InDim()
+	if len(s.NormMean) != dim || len(s.NormM2) != dim {
+		return nil, fmt.Errorf("rl: snapshot normaliser width %d/%d != actor input %d",
+			len(s.NormMean), len(s.NormM2), dim)
+	}
+	return &s, nil
+}
+
+// Act runs the frozen policy on a raw state and returns the simplex
+// action, exactly as the live agent's Act would have.
+func (s *PolicySnapshot) Act(state []float64) []float64 {
+	dim := s.Actor.InDim()
+	if len(state) != dim {
+		panic(fmt.Sprintf("rl: snapshot state width %d != %d", len(state), dim))
+	}
+	x := make([]float64, dim)
+	logCompress(x, state)
+	if s.NormCount >= 2 {
+		for i := range x {
+			std := math.Sqrt(s.NormM2[i] / s.NormCount)
+			if std < 1e-6 {
+				std = 1
+			}
+			x[i] = (x[i] - s.NormMean[i]) / std
+		}
+	}
+	return s.Actor.Forward(x, nil)
+}

@@ -1,0 +1,130 @@
+package rl
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func trainedAgentForSnapshot(t *testing.T) *DDPG {
+	t.Helper()
+	d, err := NewDDPG(Config{StateDim: 3, ActionDim: 3, Hidden: []int{12, 12}, BatchSize: 8, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 50; i++ {
+		s := []float64{rng.Float64() * 100, rng.Float64() * 10, rng.Float64()}
+		d.Observe(Experience{State: s, Action: d.Act(s), Next: s, Reward: -rng.Float64()})
+		d.Update()
+	}
+	return d
+}
+
+func TestSnapshotActMatchesLiveAgent(t *testing.T) {
+	d := trainedAgentForSnapshot(t)
+	snap := d.Snapshot()
+	states := [][]float64{
+		{0, 0, 0},
+		{50, 5, 0.5},
+		{1000, 100, 10},
+	}
+	for _, s := range states {
+		live := d.Act(s)
+		frozen := snap.Act(s)
+		for i := range live {
+			if live[i] != frozen[i] {
+				t.Fatalf("snapshot diverges from live agent at %v: %v vs %v", s, frozen, live)
+			}
+		}
+	}
+}
+
+func TestSnapshotIsFrozen(t *testing.T) {
+	d := trainedAgentForSnapshot(t)
+	snap := d.Snapshot()
+	before := snap.Act([]float64{10, 10, 10})
+	// Further training must not affect the snapshot.
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 30; i++ {
+		s := []float64{rng.Float64() * 100, rng.Float64(), rng.Float64()}
+		d.Observe(Experience{State: s, Action: d.Act(s), Next: s, Reward: -1})
+		d.Update()
+	}
+	after := snap.Act([]float64{10, 10, 10})
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("snapshot changed when the live agent trained")
+		}
+	}
+}
+
+func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
+	d := trainedAgentForSnapshot(t)
+	snap := d.Snapshot()
+	path := filepath.Join(t.TempDir(), "policy.json")
+	if err := snap.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPolicySnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []float64{42, 7, 0.1}
+	a, b := snap.Act(s), loaded.Act(s)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round-trip mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadPolicySnapshotRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadPolicySnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	write := func(content string) {
+		t.Helper()
+		if err := writeFile(bad, content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("{not json")
+	if _, err := LoadPolicySnapshot(bad); err == nil {
+		t.Fatal("expected error for invalid JSON")
+	}
+	write(`{"actor":null}`)
+	if _, err := LoadPolicySnapshot(bad); err == nil {
+		t.Fatal("expected error for missing actor")
+	}
+	// Normaliser width mismatch.
+	d := trainedAgentForSnapshot(t)
+	snap := d.Snapshot()
+	snap.NormMean = snap.NormMean[:1]
+	good := filepath.Join(dir, "mismatch.json")
+	if err := snap.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPolicySnapshot(good); err == nil {
+		t.Fatal("expected error for normaliser width mismatch")
+	}
+}
+
+func TestSnapshotActPanicsOnWrongWidth(t *testing.T) {
+	d := trainedAgentForSnapshot(t)
+	snap := d.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	snap.Act([]float64{1})
+}
+
+// writeFile is a test helper around os.WriteFile.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,170 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// underneath the microservice workflow cluster emulation.
+//
+// The paper's experiments run on a real Google Cloud cluster where one
+// control interaction takes a 30-second wall-clock window. This engine
+// replaces the wall clock with virtual time so tens of thousands of control
+// interactions can be simulated in seconds while preserving event ordering
+// and latency semantics. Determinism is guaranteed: events at equal
+// timestamps fire in schedule order, and all randomness flows through
+// explicitly seeded streams (see rng.go).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in seconds since the start of the simulation.
+type Time = float64
+
+// Event is a scheduled callback. Events are created by Engine.Schedule and
+// may be cancelled before they fire.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // position in the heap, -1 once popped
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// eventHeap orders events by (time, sequence) so simultaneous events fire
+// in FIFO schedule order, keeping runs reproducible.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; in this repository each experiment owns one engine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+}
+
+// NewEngine returns an engine at time 0 with no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule registers fn to run after the given non-negative delay and
+// returns a handle that can be passed to Cancel.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute virtual time t, which must not
+// be in the past.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %g before now %g", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel marks ev so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.cancelled = true
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was fired (false when the queue is
+// empty).
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires every event scheduled at or before t in timestamp order,
+// then advances the clock to exactly t. Events that callbacks schedule
+// within the horizon are fired too.
+func (e *Engine) RunUntil(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%g) before now %g", t, e.now))
+	}
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	e.now = t
+}
+
+// Drain fires events until the queue is empty or maxEvents have fired,
+// returning the number fired. It is used by tests and by cluster reset.
+func (e *Engine) Drain(maxEvents int) int {
+	fired := 0
+	for fired < maxEvents && e.Step() {
+		fired++
+	}
+	return fired
+}

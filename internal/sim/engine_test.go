@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now=%g, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending=%d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.RunUntil(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order=%v, want [1 2 3]", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now=%g, want 10", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.RunUntil(1)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous order=%v, want FIFO", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(5, func() { at = e.Now() })
+	e.RunUntil(7)
+	if at != 5 {
+		t.Fatalf("callback saw Now=%g, want 5", at)
+	}
+}
+
+func TestCascadingEventsWithinHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(1, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(1, func() { fired = append(fired, e.Now()) })
+	})
+	e.RunUntil(3)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired=%v, want [1 2]", fired)
+	}
+}
+
+func TestEventBeyondHorizonDoesNotFire(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.RunUntil(4.999)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	e.RunUntil(5)
+	if !fired {
+		t.Fatal("event at horizon boundary did not fire")
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.RunUntil(2)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancel of nil and double cancel are no-ops.
+	e.Cancel(nil)
+	e.Cancel(ev)
+}
+
+func TestStepFiresOneEvent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++ })
+	e.Schedule(2, func() { count++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if count != 1 || e.Now() != 1 {
+		t.Fatalf("after one Step: count=%d now=%g", count, e.Now())
+	}
+	if !e.Step() || count != 2 {
+		t.Fatal("second Step failed")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestSchedulePanicsOnNegativeDelay(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestScheduleAtPanicsInPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	e.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.ScheduleAt(4, func() {})
+}
+
+func TestRunUntilPanicsInPast(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.RunUntil(4)
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestDrainFiresEverything(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() { count++ })
+	}
+	fired := e.Drain(100)
+	if fired != 10 || count != 10 {
+		t.Fatalf("Drain fired %d events, count=%d", fired, count)
+	}
+}
+
+// Property: random schedules always fire in nondecreasing time order.
+func TestRandomScheduleOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []Time
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			e.Schedule(rng.Float64()*100, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunUntil(100)
+		if len(fired) != n {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamsReproducible(t *testing.T) {
+	s1 := NewStreams(42)
+	s2 := NewStreams(42)
+	a := s1.Stream("arrivals")
+	b := s2.Stream("arrivals")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-named streams diverged")
+		}
+	}
+}
+
+func TestStreamsIndependentNames(t *testing.T) {
+	s := NewStreams(42)
+	a := s.Stream("arrivals")
+	b := s.Stream("service")
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("differently named streams produced identical sequences")
+	}
+}
+
+func TestStreamsDifferentSeedsDiffer(t *testing.T) {
+	a := NewStreams(1).Stream("x")
+	b := NewStreams(2).Stream("x")
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const mean, cv = 10.0, 0.5
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := LogNormal(rng, mean, cv)
+		if v <= 0 {
+			t.Fatal("LogNormal produced non-positive value")
+		}
+		sum += v
+		sumSq += v * v
+	}
+	gotMean := sum / float64(n)
+	gotStd := math.Sqrt(sumSq/float64(n) - gotMean*gotMean)
+	if math.Abs(gotMean-mean) > 0.15 {
+		t.Fatalf("LogNormal mean=%g, want %g", gotMean, mean)
+	}
+	if math.Abs(gotStd/gotMean-cv) > 0.05 {
+		t.Fatalf("LogNormal cv=%g, want %g", gotStd/gotMean, cv)
+	}
+}
+
+func TestLogNormalZeroCVDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if got := LogNormal(rng, 7, 0); got != 7 {
+		t.Fatalf("LogNormal cv=0 gave %g, want 7", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, 3)
+	}
+	if got := sum / float64(n); math.Abs(got-3) > 0.1 {
+		t.Fatalf("Exponential mean=%g, want 3", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, mean := range []float64{0, 0.5, 3, 12, 50} {
+		var sum float64
+		n := 50000
+		for i := 0; i < n; i++ {
+			k := Poisson(rng, mean)
+			if k < 0 {
+				t.Fatal("Poisson returned negative count")
+			}
+			sum += float64(k)
+		}
+		got := sum / float64(n)
+		tol := 0.05*mean + 0.05
+		if math.Abs(got-mean) > tol {
+			t.Fatalf("Poisson(%g) mean=%g", mean, got)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		v := Uniform(rng, 5, 10)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	ev1 := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending=%d, want 2", e.Pending())
+	}
+	e.Cancel(ev1)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending=%d after cancel, want 1", e.Pending())
+	}
+	e.RunUntil(3)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending=%d after drain, want 0", e.Pending())
+	}
+}
+
+func TestEventAtAccessor(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(5, func() {})
+	if ev.At() != 5 {
+		t.Fatalf("At=%g, want 5", ev.At())
+	}
+}
+
+func TestDrainRespectsLimit(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() { count++ })
+	}
+	if fired := e.Drain(4); fired != 4 || count != 4 {
+		t.Fatalf("Drain(4) fired %d, count %d", fired, count)
+	}
+}

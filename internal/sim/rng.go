@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Streams derives independent, reproducible random-number streams from a
+// single experiment seed. Each named component (arrival process, service
+// times, exploration noise, …) gets its own stream so that, for example,
+// changing the controller's exploration draws does not perturb the arrival
+// trace — a prerequisite for paired comparisons between algorithms.
+type Streams struct {
+	seed int64
+}
+
+// NewStreams returns a stream factory rooted at seed.
+func NewStreams(seed int64) *Streams { return &Streams{seed: seed} }
+
+// Stream returns a fresh *rand.Rand for the named component. Calling Stream
+// twice with the same name yields two generators with identical sequences.
+func (s *Streams) Stream(name string) *rand.Rand {
+	h := fnv.New64a()
+	// The hash of the name is mixed with the root seed; FNV keeps this
+	// stdlib-only and stable across runs and platforms.
+	_, _ = h.Write([]byte(name))
+	mixed := int64(h.Sum64() ^ (uint64(s.seed) * 0x9E3779B97F4A7C15))
+	return rand.New(rand.NewSource(mixed))
+}
+
+// Seed returns the root seed the factory was built from.
+func (s *Streams) Seed() int64 { return s.seed }
+
+// LogNormal draws a log-normal variate with the given mean and coefficient
+// of variation (stddev/mean) of the *resulting* distribution. A cv of 0
+// returns mean deterministically. Service times in the cluster emulation
+// are log-normal: strictly positive and right-skewed, matching the paper's
+// observation that task processing time varies with input data size.
+func LogNormal(rng *rand.Rand, mean, cv float64) float64 {
+	if mean <= 0 {
+		panic("sim: LogNormal mean must be positive")
+	}
+	if cv <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*rng.NormFloat64())
+}
+
+// Exponential draws an exponential variate with the given mean.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	if mean <= 0 {
+		panic("sim: Exponential mean must be positive")
+	}
+	return rng.ExpFloat64() * mean
+}
+
+// Uniform draws uniformly from [lo, hi).
+func Uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi < lo {
+		panic("sim: Uniform with hi < lo")
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Poisson draws a Poisson variate with the given mean using Knuth's method
+// for small means and a normal approximation above 30 (adequate for window
+// arrival counts).
+func Poisson(rng *rand.Rand, mean float64) int {
+	if mean < 0 {
+		panic("sim: Poisson mean must be non-negative")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// tableJSON is the serialised form of a Table.
+type tableJSON struct {
+	Title  string       `json:"title"`
+	XLabel string       `json:"x_label,omitempty"`
+	YLabel string       `json:"y_label,omitempty"`
+	X      []float64    `json:"x,omitempty"`
+	Series []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel, X: t.X}
+	for _, s := range t.Series {
+		out.Series = append(out.Series, seriesJSON{Name: s.Name, Values: s.Values})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("trace: decode table: %w", err)
+	}
+	t.Title, t.XLabel, t.YLabel, t.X = in.Title, in.XLabel, in.YLabel, in.X
+	t.Series = nil
+	for _, s := range in.Series {
+		t.Series = append(t.Series, Series{Name: s.Name, Values: s.Values})
+	}
+	return nil
+}
+
+// SaveJSON writes the table to path as JSON, creating parent directories.
+func (t *Table) SaveJSON(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("trace: mkdir for %s: %w", path, err)
+	}
+	data, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("trace: marshal %s: %w", t.Title, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadJSON reads a table written by SaveJSON.
+func LoadJSON(path string) (*Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load %s: %w", path, err)
+	}
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// WriteMarkdown renders the table as a GitHub-flavoured markdown table
+// (x column plus one column per series), used to assemble EXPERIMENTS.md.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	x := t.XLabel
+	if x == "" {
+		x = "x"
+	}
+	header := []string{x}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	n := t.MaxLen()
+	row := make([]string, len(header))
+	for i := 0; i < n; i++ {
+		if t.X != nil && i < len(t.X) {
+			row[0] = formatFloat(t.X[i])
+		} else {
+			row[0] = fmt.Sprint(i)
+		}
+		for si, s := range t.Series {
+			if i < len(s.Values) {
+				row[si+1] = fmt.Sprintf("%.2f", s.Values[i])
+			} else {
+				row[si+1] = ""
+			}
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

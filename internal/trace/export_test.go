@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tab := Table{Title: "demo", XLabel: "w", YLabel: "d", X: []float64{0, 30}}
+	tab.AddSeries("a", []float64{1, 2})
+	tab.AddSeries("b", []float64{3, 4})
+	path := filepath.Join(t.TempDir(), "t.json")
+	if err := tab.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Title != "demo" || loaded.XLabel != "w" || len(loaded.Series) != 2 {
+		t.Fatalf("round trip lost metadata: %+v", loaded)
+	}
+	if loaded.Series[1].Values[1] != 4 {
+		t.Fatal("round trip lost values")
+	}
+	if loaded.X[1] != 30 {
+		t.Fatal("round trip lost x axis")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tab := Table{Title: "demo", XLabel: "window"}
+	tab.AddSeries("miras", []float64{1.5, 2})
+	tab.AddSeries("heft", []float64{3})
+	var sb strings.Builder
+	if err := tab.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "| window | miras | heft |" {
+		t.Fatalf("header=%q", lines[0])
+	}
+	if lines[1] != "| --- | --- | --- |" {
+		t.Fatalf("separator=%q", lines[1])
+	}
+	if lines[2] != "| 0 | 1.50 | 3.00 |" {
+		t.Fatalf("row=%q", lines[2])
+	}
+	if lines[3] != "| 1 | 2.00 |  |" {
+		t.Fatalf("ragged row=%q", lines[3])
+	}
+}

@@ -1,0 +1,181 @@
+// Package trace holds the experiment output types: named series aligned on
+// a common x-axis, CSV export, and a plain-text renderer so the CLI tools
+// can show figure shapes without a plotting stack.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	// Name labels the curve (e.g. "miras", "heft").
+	Name string
+	// Values are the y-values, one per x-axis step.
+	Values []float64
+}
+
+// Table is a set of series sharing an x-axis, corresponding to one figure
+// panel in the paper.
+type Table struct {
+	// Title identifies the panel (e.g. "fig7-burst1").
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// X holds the x-axis values; when nil, indices 0..n-1 are implied.
+	X []float64
+	// Series are the curves.
+	Series []Series
+}
+
+// AddSeries appends a curve.
+func (t *Table) AddSeries(name string, values []float64) {
+	t.Series = append(t.Series, Series{Name: name, Values: values})
+}
+
+// MaxLen returns the longest series length.
+func (t *Table) MaxLen() int {
+	n := len(t.X)
+	for _, s := range t.Series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	return n
+}
+
+// WriteCSV emits the table as CSV: header "x,name1,name2,...", one row per
+// step; missing values render empty.
+func (t *Table) WriteCSV(w io.Writer) error {
+	header := make([]string, 0, len(t.Series)+1)
+	x := t.XLabel
+	if x == "" {
+		x = "x"
+	}
+	header = append(header, x)
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	n := t.MaxLen()
+	row := make([]string, len(header))
+	for i := 0; i < n; i++ {
+		if t.X != nil && i < len(t.X) {
+			row[0] = formatFloat(t.X[i])
+		} else {
+			row[0] = strconv.Itoa(i)
+		}
+		for si, s := range t.Series {
+			if i < len(s.Values) {
+				row[si+1] = formatFloat(s.Values[i])
+			} else {
+				row[si+1] = ""
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCSV writes the table to path, creating parent directories.
+func (t *Table) SaveCSV(path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("trace: mkdir for %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Render draws the table as a fixed-width ASCII chart (one glyph per
+// series) for terminal inspection. Height is the number of text rows used
+// for the y-axis.
+func (t *Table) Render(w io.Writer, height int) error {
+	if height < 2 {
+		height = 8
+	}
+	n := t.MaxLen()
+	if n == 0 {
+		_, err := fmt.Fprintf(w, "%s: (empty)\n", t.Title)
+		return err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	glyphs := []byte("*o+x#@%&")
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n))
+	}
+	for si, s := range t.Series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			r := int((hi - v) / (hi - lo) * float64(height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			grid[r][i] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s  (%s vs %s)\n", t.Title, t.YLabel, t.XLabel); err != nil {
+		return err
+	}
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = formatFloat(hi)
+		case height - 1:
+			label = formatFloat(lo)
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, line); err != nil {
+			return err
+		}
+	}
+	legend := make([]string, 0, len(t.Series))
+	for si, s := range t.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%10s  %s\n", "", strings.Join(legend, "  "))
+	return err
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tab := Table{Title: "demo", XLabel: "window", YLabel: "delay"}
+	tab.AddSeries("a", []float64{1, 2.5, 3})
+	tab.AddSeries("b", []float64{4, 5}) // shorter: trailing blank
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "window,a,b" {
+		t.Fatalf("header=%q", lines[0])
+	}
+	if lines[1] != "0,1,4" {
+		t.Fatalf("row1=%q", lines[1])
+	}
+	if lines[2] != "1,2.5,5" {
+		t.Fatalf("row2=%q", lines[2])
+	}
+	if lines[3] != "2,3," {
+		t.Fatalf("row3=%q", lines[3])
+	}
+}
+
+func TestWriteCSVExplicitX(t *testing.T) {
+	tab := Table{Title: "demo", X: []float64{0, 30, 60}}
+	tab.AddSeries("a", []float64{1, 2, 3})
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "x,a" || lines[2] != "30,2" {
+		t.Fatalf("csv=%v", lines)
+	}
+}
+
+func TestSaveCSVCreatesDirectories(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "out.csv")
+	tab := Table{Title: "demo"}
+	tab.AddSeries("a", []float64{1})
+	if err := tab.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "a") {
+		t.Fatalf("file contents: %q", data)
+	}
+}
+
+func TestRenderProducesChart(t *testing.T) {
+	tab := Table{Title: "demo", XLabel: "step", YLabel: "wip"}
+	tab.AddSeries("up", []float64{0, 1, 2, 3, 4})
+	tab.AddSeries("down", []float64{4, 3, 2, 1, 0})
+	var sb strings.Builder
+	if err := tab.Render(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatalf("render output missing parts:\n%s", out)
+	}
+	// 5 grid rows + title + legend = 7 lines.
+	if got := strings.Count(out, "\n"); got != 7 {
+		t.Fatalf("render has %d lines, want 7", got)
+	}
+}
+
+func TestRenderEmptyTable(t *testing.T) {
+	tab := Table{Title: "empty"}
+	var sb strings.Builder
+	if err := tab.Render(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "(empty)") {
+		t.Fatalf("empty render: %q", sb.String())
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	tab := Table{Title: "const"}
+	tab.AddSeries("c", []float64{2, 2, 2})
+	var sb strings.Builder
+	if err := tab.Render(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("constant series not drawn")
+	}
+}

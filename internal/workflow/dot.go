@@ -1,0 +1,58 @@
+package workflow
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the workflow DAG in Graphviz DOT format, labelling each
+// node with its task name and mean service time. Useful for inspecting
+// reconstructed ensembles (`dot -Tpng`).
+func (t *Type) WriteDOT(w io.Writer, e *Ensemble) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", t.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+	for i, n := range t.Nodes {
+		label := fmt.Sprintf("n%d", i)
+		if e != nil && int(n.Task) < len(e.Tasks) {
+			def := e.Tasks[n.Task]
+			label = fmt.Sprintf("%s\\n%.1fs", def.Name, def.MeanServiceSec)
+		} else if n.Name != "" {
+			label = n.Name
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", i, label)
+	}
+	for from, succs := range t.Edges {
+		for _, to := range succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", from, to)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteDOT renders every workflow of the ensemble as one DOT file with a
+// subgraph per workflow type.
+func (e *Ensemble) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", e.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+	for wi, wf := range e.Workflows {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", wi, wf.Name)
+		for i, n := range wf.Nodes {
+			def := e.Tasks[n.Task]
+			fmt.Fprintf(&b, "    w%dn%d [label=\"%s\\n%.1fs\"];\n", wi, i, def.Name, def.MeanServiceSec)
+		}
+		for from, succs := range wf.Edges {
+			for _, to := range succs {
+				fmt.Fprintf(&b, "    w%dn%d -> w%dn%d;\n", wi, from, wi, to)
+			}
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,50 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeWriteDOT(t *testing.T) {
+	e := NewMSD()
+	wf, _ := e.WorkflowByName("Type3")
+	var sb strings.Builder
+	if err := wf.WriteDOT(&sb, e); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`digraph "Type3"`, "Extract", "Render", "n0 -> n1", "n0 -> n2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTypeWriteDOTWithoutEnsemble(t *testing.T) {
+	wf := MustType("w", []Node{{Task: 0, Name: "custom"}, {Task: 0}}, [][]int{{1}, {}})
+	var sb strings.Builder
+	if err := wf.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "custom") {
+		t.Fatalf("DOT output missing node name:\n%s", sb.String())
+	}
+}
+
+func TestEnsembleWriteDOT(t *testing.T) {
+	e := NewLIGO()
+	var sb strings.Builder
+	if err := e.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cluster_0", "cluster_3", "DataFind", "Coire", "Injection"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ensemble DOT missing %q", want)
+		}
+	}
+	// Every workflow is a subgraph.
+	if got := strings.Count(out, "subgraph"); got != 4 {
+		t.Fatalf("subgraphs=%d, want 4", got)
+	}
+}

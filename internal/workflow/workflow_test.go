@@ -1,0 +1,302 @@
+package workflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTypeRejectsEmptyGraph(t *testing.T) {
+	if _, err := NewType("x", nil, nil); err == nil {
+		t.Fatal("expected error for empty node list")
+	}
+}
+
+func TestNewTypeRejectsEdgeListMismatch(t *testing.T) {
+	if _, err := NewType("x", []Node{{Task: 0}}, [][]int{{}, {}}); err == nil {
+		t.Fatal("expected error for edge list length mismatch")
+	}
+}
+
+func TestNewTypeRejectsOutOfRangeEdge(t *testing.T) {
+	if _, err := NewType("x", []Node{{Task: 0}, {Task: 1}}, [][]int{{5}, {}}); err == nil {
+		t.Fatal("expected error for out-of-range edge")
+	}
+}
+
+func TestNewTypeRejectsSelfLoop(t *testing.T) {
+	if _, err := NewType("x", []Node{{Task: 0}}, [][]int{{0}}); err == nil {
+		t.Fatal("expected error for self loop")
+	}
+}
+
+func TestNewTypeRejectsCycle(t *testing.T) {
+	if _, err := NewType("x", []Node{{Task: 0}, {Task: 1}}, [][]int{{1}, {0}}); err == nil {
+		t.Fatal("expected error for cycle")
+	}
+}
+
+func TestNewTypeRejectsDuplicateEdge(t *testing.T) {
+	if _, err := NewType("x", []Node{{Task: 0}, {Task: 1}}, [][]int{{1, 1}, {}}); err == nil {
+		t.Fatal("expected error for duplicate edge")
+	}
+}
+
+func TestRootsAndSuccessors(t *testing.T) {
+	// Diamond: 0 → (1, 2) → 3.
+	wf := MustType("diamond",
+		[]Node{{Task: 0}, {Task: 1}, {Task: 2}, {Task: 3}},
+		[][]int{{1, 2}, {3}, {3}, {}})
+	roots := wf.Roots()
+	if len(roots) != 1 || roots[0] != 0 {
+		t.Fatalf("roots=%v, want [0]", roots)
+	}
+	if got := wf.Successors(0); len(got) != 2 {
+		t.Fatalf("successors(0)=%v", got)
+	}
+	if got := wf.Predecessors(3); len(got) != 2 {
+		t.Fatalf("predecessors(3)=%v", got)
+	}
+	if wf.NumNodes() != 4 {
+		t.Fatalf("NumNodes=%d", wf.NumNodes())
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	wf := MustType("diamond",
+		[]Node{{Task: 0}, {Task: 1}, {Task: 2}, {Task: 3}},
+		[][]int{{1, 2}, {3}, {3}, {}})
+	pos := make(map[int]int)
+	for i, n := range wf.TopoOrder() {
+		pos[n] = i
+	}
+	for from, succs := range wf.Edges {
+		for _, to := range succs {
+			if pos[from] >= pos[to] {
+				t.Fatalf("topo order violates edge %d→%d", from, to)
+			}
+		}
+	}
+}
+
+func TestMultiRootGraph(t *testing.T) {
+	// Two roots joining: (0, 1) → 2.
+	wf := MustType("join",
+		[]Node{{Task: 0}, {Task: 1}, {Task: 2}},
+		[][]int{{2}, {2}, {}})
+	if len(wf.Roots()) != 2 {
+		t.Fatalf("roots=%v, want two roots", wf.Roots())
+	}
+}
+
+func TestCriticalPathLength(t *testing.T) {
+	// 0 → (1, 2) → 3 with unit costs: longest path is 3 nodes.
+	wf := MustType("diamond",
+		[]Node{{Task: 0}, {Task: 1}, {Task: 2}, {Task: 3}},
+		[][]int{{1, 2}, {3}, {3}, {}})
+	got := wf.CriticalPathLength(func(TaskType) float64 { return 1 })
+	if got != 3 {
+		t.Fatalf("critical path=%g, want 3", got)
+	}
+	// Weighted: task 2 is expensive, path through it dominates.
+	got = wf.CriticalPathLength(func(tt TaskType) float64 {
+		if tt == 2 {
+			return 10
+		}
+		return 1
+	})
+	if got != 12 {
+		t.Fatalf("weighted critical path=%g, want 12", got)
+	}
+}
+
+func TestUsesTask(t *testing.T) {
+	wf := MustType("p", []Node{{Task: 3}}, [][]int{{}})
+	if !wf.UsesTask(3) || wf.UsesTask(0) {
+		t.Fatal("UsesTask wrong")
+	}
+}
+
+func TestMSDEnsembleStructure(t *testing.T) {
+	e := NewMSD()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumTasks() != 4 {
+		t.Fatalf("MSD task count=%d, want 4 (paper §VI-A1)", e.NumTasks())
+	}
+	if e.NumWorkflows() != 3 {
+		t.Fatalf("MSD workflow count=%d, want 3 (paper §VI-A1)", e.NumWorkflows())
+	}
+	for _, name := range []string{"Type1", "Type2", "Type3"} {
+		if _, err := e.WorkflowByName(name); err != nil {
+			t.Fatalf("missing workflow %s: %v", name, err)
+		}
+	}
+	// Type1 and Type2 share Extract and Align — cascading-effect setup.
+	t1, _ := e.WorkflowByName("Type1")
+	t2, _ := e.WorkflowByName("Type2")
+	if !t1.UsesTask(MSDExtract) || !t2.UsesTask(MSDExtract) {
+		t.Fatal("Type1 and Type2 should share the Extract task")
+	}
+}
+
+func TestLIGOEnsembleStructure(t *testing.T) {
+	e := NewLIGO()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumTasks() != 9 {
+		t.Fatalf("LIGO task count=%d, want 9 (paper §VI-A1)", e.NumTasks())
+	}
+	if e.NumWorkflows() != 4 {
+		t.Fatalf("LIGO workflow count=%d, want 4 (paper §VI-A1)", e.NumWorkflows())
+	}
+	for _, name := range []string{"DataFind", "CAT", "Full", "Injection"} {
+		if _, err := e.WorkflowByName(name); err != nil {
+			t.Fatalf("missing workflow %s: %v", name, err)
+		}
+	}
+	// §VI-D: Coire terminates CAT, Full, and Injection.
+	for _, name := range []string{"CAT", "Full", "Injection"} {
+		wf, _ := e.WorkflowByName(name)
+		if !wf.UsesTask(LIGOCoire) {
+			t.Fatalf("workflow %s should use Coire", name)
+		}
+	}
+	if e.Tasks[LIGOCoire].Name != "Coire" {
+		t.Fatalf("task %d name=%q, want Coire", LIGOCoire, e.Tasks[LIGOCoire].Name)
+	}
+}
+
+func TestToyEnsemble(t *testing.T) {
+	e := Toy()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumTasks() != 2 || e.NumWorkflows() != 1 {
+		t.Fatal("toy ensemble shape wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"msd", "ligo", "toy"} {
+		e, ok := ByName(name)
+		if !ok || e.Name != name {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName should fail for unknown name")
+	}
+}
+
+func TestEnsembleValidateCatchesUnusedTask(t *testing.T) {
+	e := &Ensemble{
+		Name:      "bad",
+		Tasks:     []TaskDef{{Name: "a"}, {Name: "unused"}},
+		Workflows: []*Type{MustType("w", []Node{{Task: 0}}, [][]int{{}})},
+	}
+	if err := e.Validate(); err == nil {
+		t.Fatal("expected error for unused task type")
+	}
+}
+
+func TestEnsembleValidateCatchesOutOfRangeTask(t *testing.T) {
+	e := &Ensemble{
+		Name:      "bad",
+		Tasks:     []TaskDef{{Name: "a"}},
+		Workflows: []*Type{MustType("w", []Node{{Task: 7}}, [][]int{{}})},
+	}
+	if err := e.Validate(); err == nil {
+		t.Fatal("expected error for out-of-range task type")
+	}
+}
+
+func TestTDSQueries(t *testing.T) {
+	e := NewMSD()
+	tds, err := NewTDS(e, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Type3 is the fork-join workflow: Extract → (Align, Segment) → Render.
+	roots := tds.InitialNodes(2)
+	if len(roots) != 1 || roots[0] != 0 {
+		t.Fatalf("InitialNodes=%v", roots)
+	}
+	succ := tds.SuccessorNodes(2, 0)
+	if len(succ) != 2 {
+		t.Fatalf("SuccessorNodes=%v, want 2 successors", succ)
+	}
+	if got := tds.PredecessorCount(2, 3); got != 2 {
+		t.Fatalf("PredecessorCount=%d, want 2", got)
+	}
+	if got := tds.TaskOf(2, 3); got != MSDRender {
+		t.Fatalf("TaskOf=%d, want Render", got)
+	}
+	if tds.Queries() == 0 {
+		t.Fatal("TDS did not count queries")
+	}
+}
+
+func TestTDSRejectsBadInput(t *testing.T) {
+	if _, err := NewTDS(NewMSD(), 0); err == nil {
+		t.Fatal("expected error for 0 replicas")
+	}
+	bad := &Ensemble{Name: "bad"}
+	if _, err := NewTDS(bad, 3); err == nil {
+		t.Fatal("expected error for invalid ensemble")
+	}
+}
+
+// Property: every validly constructed random DAG has a topological order
+// containing all nodes exactly once, and every non-root node is reachable
+// from the root set along edges.
+func TestRandomDAGInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		nodes := make([]Node, n)
+		edges := make([][]int, n)
+		// Random DAG: only forward edges i → j with i < j.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					edges[i] = append(edges[i], j)
+				}
+			}
+		}
+		wf, err := NewType("rand", nodes, edges)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range wf.TopoOrder() {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		if len(seen) != n {
+			return false
+		}
+		// Reachability from roots covers all nodes (true for forward-edge
+		// construction since any node without preds is itself a root).
+		reach := map[int]bool{}
+		var stack []int
+		stack = append(stack, wf.Roots()...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reach[v] {
+				continue
+			}
+			reach[v] = true
+			stack = append(stack, wf.Successors(v)...)
+		}
+		return len(reach) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

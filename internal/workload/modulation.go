@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"miras/internal/sim"
+)
+
+// Modulator varies a Generator's Poisson rates over virtual time,
+// producing the "dynamic workloads" the paper's introduction motivates:
+// diurnal-style sinusoidal swells and step changes, beyond the
+// superimposed bursts of §VI-D.
+type Modulator struct {
+	gen     *Generator
+	engine  *sim.Engine
+	base    []float64
+	pattern Pattern
+	period  float64
+	depth   float64
+	step    float64
+	stopped bool
+}
+
+// Pattern selects the modulation shape.
+type Pattern int
+
+const (
+	// Sine scales rates by 1 + depth·sin(2πt/period).
+	Sine Pattern = iota
+	// Square alternates rates between (1−depth)· and (1+depth)·base every
+	// half period.
+	Square
+)
+
+// NewModulator wraps gen. base rates are captured at construction; period
+// is the full cycle in virtual seconds; depth ∈ [0, 1) is the relative
+// swing; step is the re-evaluation interval.
+func NewModulator(gen *Generator, engine *sim.Engine, pattern Pattern, period, depth, step float64) (*Modulator, error) {
+	if gen == nil || engine == nil {
+		return nil, fmt.Errorf("workload: generator and engine are required")
+	}
+	if period <= 0 || step <= 0 {
+		return nil, fmt.Errorf("workload: period %g and step %g must be positive", period, step)
+	}
+	if depth < 0 || depth >= 1 {
+		return nil, fmt.Errorf("workload: depth %g outside [0, 1)", depth)
+	}
+	if pattern != Sine && pattern != Square {
+		return nil, fmt.Errorf("workload: unknown pattern %d", pattern)
+	}
+	base := make([]float64, len(gen.rates))
+	copy(base, gen.rates)
+	return &Modulator{
+		gen:     gen,
+		engine:  engine,
+		base:    base,
+		pattern: pattern,
+		period:  period,
+		depth:   depth,
+		step:    step,
+	}, nil
+}
+
+// Start begins periodic rate updates.
+func (m *Modulator) Start() {
+	m.stopped = false
+	m.tick()
+}
+
+// Stop halts future updates and restores the base rates.
+func (m *Modulator) Stop() {
+	m.stopped = true
+	_ = m.gen.SetRates(m.base)
+}
+
+// Factor returns the multiplicative rate factor at virtual time t.
+func (m *Modulator) Factor(t sim.Time) float64 {
+	phase := math.Mod(t, m.period) / m.period
+	switch m.pattern {
+	case Square:
+		if phase < 0.5 {
+			return 1 + m.depth
+		}
+		return 1 - m.depth
+	default: // Sine
+		return 1 + m.depth*math.Sin(2*math.Pi*phase)
+	}
+}
+
+func (m *Modulator) tick() {
+	if m.stopped {
+		return
+	}
+	factor := m.Factor(m.engine.Now())
+	scaled := make([]float64, len(m.base))
+	for i, r := range m.base {
+		scaled[i] = r * factor
+	}
+	// Rates were validated non-negative at construction; SetRates cannot
+	// fail for a scaled copy.
+	_ = m.gen.SetRates(scaled)
+	m.engine.Schedule(m.step, m.tick)
+}

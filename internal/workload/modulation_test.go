@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"miras/internal/cluster"
+	"miras/internal/sim"
+	"miras/internal/workflow"
+)
+
+func newModHarness(t *testing.T, seed int64, rate float64) (*Generator, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine()
+	streams := sim.NewStreams(seed)
+	c, err := cluster.New(cluster.Config{
+		Ensemble: workflow.Toy(),
+		Engine:   engine,
+		Streams:  streams,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(c, streams, engine, []float64{rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, engine
+}
+
+func TestNewModulatorValidation(t *testing.T) {
+	g, engine := newModHarness(t, 1, 0.5)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"nil generator", func() error { _, err := NewModulator(nil, engine, Sine, 100, 0.5, 10); return err }},
+		{"nil engine", func() error { _, err := NewModulator(g, nil, Sine, 100, 0.5, 10); return err }},
+		{"zero period", func() error { _, err := NewModulator(g, engine, Sine, 0, 0.5, 10); return err }},
+		{"zero step", func() error { _, err := NewModulator(g, engine, Sine, 100, 0.5, 0); return err }},
+		{"depth 1", func() error { _, err := NewModulator(g, engine, Sine, 100, 1, 10); return err }},
+		{"bad pattern", func() error { _, err := NewModulator(g, engine, Pattern(9), 100, 0.5, 10); return err }},
+	}
+	for _, c := range cases {
+		if c.fn() == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestModulatorFactorShapes(t *testing.T) {
+	g, engine := newModHarness(t, 2, 0.5)
+	sine, err := NewModulator(g, engine, Sine, 100, 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sine: factor(0)=1, factor(25)=1.4, factor(75)=0.6.
+	if got := sine.Factor(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("sine factor(0)=%g", got)
+	}
+	if got := sine.Factor(25); math.Abs(got-1.4) > 1e-9 {
+		t.Fatalf("sine factor(25)=%g, want 1.4", got)
+	}
+	if got := sine.Factor(75); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("sine factor(75)=%g, want 0.6", got)
+	}
+	square, err := NewModulator(g, engine, Square, 100, 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := square.Factor(10); got != 1.4 {
+		t.Fatalf("square factor(10)=%g, want 1.4", got)
+	}
+	if got := square.Factor(60); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("square factor(60)=%g, want 0.6", got)
+	}
+}
+
+func TestModulatorChangesArrivalCounts(t *testing.T) {
+	// Square modulation with long half-periods: the first half should see
+	// measurably more arrivals than the second half.
+	g, engine := newModHarness(t, 3, 1.0)
+	m, err := NewModulator(g, engine, Square, 4000, 0.8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	m.Start()
+	engine.RunUntil(2000)
+	firstHalf := g.Submitted()[0]
+	engine.RunUntil(4000)
+	secondHalf := g.Submitted()[0] - firstHalf
+	// Expected ≈ 3600 vs 400: require a clear gap.
+	if float64(firstHalf) < 2*float64(secondHalf) {
+		t.Fatalf("modulation had no effect: halves %d vs %d", firstHalf, secondHalf)
+	}
+}
+
+func TestModulatorStopRestoresBaseRates(t *testing.T) {
+	g, engine := newModHarness(t, 4, 1.0)
+	m, err := NewModulator(g, engine, Sine, 100, 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	m.Start()
+	engine.RunUntil(130)
+	m.Stop()
+	if g.rates[0] != 1.0 {
+		t.Fatalf("rates after Stop=%v, want base 1.0", g.rates)
+	}
+	// No further modulation events fire.
+	before := g.rates[0]
+	engine.RunUntil(500)
+	if g.rates[0] != before {
+		t.Fatal("modulator kept running after Stop")
+	}
+}
