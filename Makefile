@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is the pre-commit gate; `make bench`
+# records micro-benchmark results as BENCH_<date>.json.
+
+GO ?= go
+
+.PHONY: build test vet race check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detect the packages that spawn goroutines: the worker pool, its
+# call sites (ensemble fitting, experiment fan-out), and the HTTP server.
+race:
+	$(GO) test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/
+
+check:
+	./scripts/check.sh
+
+bench:
+	./scripts/bench.sh
+
+fmt:
+	gofmt -l -w .

@@ -12,6 +12,7 @@ import (
 	"miras/internal/cluster"
 	"miras/internal/envmodel"
 	"miras/internal/experiments"
+	"miras/internal/mat"
 	"miras/internal/nn"
 	"miras/internal/queueing"
 	"miras/internal/rl"
@@ -185,6 +186,64 @@ func BenchmarkNNBackward(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulBlocked times the blocked GEMM on a minibatch-shaped
+// product (batch×in times (out×in)ᵀ — the forward-pass hot loop).
+func BenchmarkMatMulBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	const batch, in, out = 64, 256, 256
+	a := mat.New(batch, in)
+	w := mat.New(out, in)
+	dst := mat.New(batch, out)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	b.SetBytes(int64(8 * batch * in * out))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.MulTransTo(a, w)
+	}
+}
+
+func batchBenchNet(b *testing.B) (*nn.Network, *nn.BatchCache, *mat.Matrix) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	net := nn.NewNetwork(nn.Config{
+		Sizes: []int{13, 256, 256, 256, 4}, Hidden: nn.Tanh{}, Output: nn.Softmax{}, AuxLayer: -1,
+	}, rng)
+	const batch = 64
+	cache := nn.NewBatchCache(net, batch)
+	x := mat.New(batch, 13)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return net, cache, x
+}
+
+func BenchmarkNNForwardBatch(b *testing.B) {
+	net, cache, x := batchBenchNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ForwardBatch(cache, x, nil)
+	}
+}
+
+func BenchmarkNNBackwardBatch(b *testing.B) {
+	net, cache, x := batchBenchNet(b)
+	grads := nn.NewGrads(net)
+	dOut := mat.New(cache.Batch(), 4)
+	for i := 0; i < cache.Batch(); i++ {
+		dOut.Row(i)[0] = 1
+	}
+	net.ForwardBatch(cache, x, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.BackwardBatch(cache, dOut, grads)
+	}
+}
+
 func BenchmarkEngineEventThroughput(b *testing.B) {
 	engine := sim.NewEngine()
 	var tick func()
@@ -256,6 +315,33 @@ func BenchmarkEnvModelPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ref.PredictTo(out, s, a)
+	}
+}
+
+// BenchmarkEnvModelFit times one epoch of performance-model training at the
+// paper-scale network size (§VI-A3: three hidden layers of 20) — the
+// steady-state minibatch loop behind Fig. 5 and every Algorithm 2 iteration.
+func BenchmarkEnvModelFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	d := envmodel.NewDataset(4, 4)
+	s := make([]float64, 4)
+	a := make([]float64, 4)
+	for i := 0; i < 512; i++ {
+		for j := range s {
+			s[j] = rng.Float64() * 50
+			a[j] = rng.Float64() / 4
+		}
+		d.Add(s, a, s)
+	}
+	m, err := envmodel.New(envmodel.Config{StateDim: 4, ActionDim: 4, Hidden: []int{20, 20, 20}, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Fit(d, 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"miras/internal/mat"
+	"miras/internal/parallel"
 )
 
 // ModelEnsemble averages K independently initialised environment models —
@@ -62,15 +63,21 @@ func (e *ModelEnsemble) Trained() bool {
 }
 
 // Fit trains every member on d for the given epochs and returns each
-// member's final-epoch loss.
+// member's final-epoch loss. Members are independent (own parameters, own
+// seeded RNG, read-only view of d), so they train concurrently on the
+// shared worker pool; results are identical to sequential fitting.
 func (e *ModelEnsemble) Fit(d *Dataset, epochs int) ([]float64, error) {
-	finals := make([]float64, 0, len(e.models))
-	for i, m := range e.models {
-		losses, err := m.Fit(d, epochs)
+	finals := make([]float64, len(e.models))
+	err := parallel.For(len(e.models), func(i int) error {
+		losses, err := e.models[i].Fit(d, epochs)
 		if err != nil {
-			return nil, fmt.Errorf("envmodel: ensemble member %d: %w", i, err)
+			return fmt.Errorf("envmodel: ensemble member %d: %w", i, err)
 		}
-		finals = append(finals, losses[len(losses)-1])
+		finals[i] = losses[len(losses)-1]
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return finals, nil
 }

@@ -1,0 +1,43 @@
+package envmodel
+
+import (
+	"testing"
+
+	"miras/internal/parallel"
+)
+
+// TestEnsembleFitParallelDeterminism pins the concurrent member fitting to
+// the sequential path: same config, same data, same epochs must yield
+// bit-identical losses and predictions whether members train one at a time
+// or fanned across the worker pool.
+func TestEnsembleFitParallelDeterminism(t *testing.T) {
+	t.Cleanup(func() { parallel.SetMaxWorkers(0) })
+	d := linearDynamics(600, 2, 71)
+	cfg := Config{StateDim: 2, ActionDim: 2, Hidden: []int{16}, Seed: 72}
+
+	fit := func(workers int) ([]float64, []float64) {
+		parallel.SetMaxWorkers(workers)
+		e, err := NewEnsemble(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		finals, err := e.Fit(d, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return finals, e.Predict([]float64{10, 10}, []float64{0.5, 0.5})
+	}
+
+	seqFinals, seqPred := fit(1)
+	parFinals, parPred := fit(4)
+	for i := range seqFinals {
+		if seqFinals[i] != parFinals[i] {
+			t.Fatalf("member %d final loss: sequential %v, parallel %v", i, seqFinals[i], parFinals[i])
+		}
+	}
+	for i := range seqPred {
+		if seqPred[i] != parPred[i] {
+			t.Fatalf("prediction[%d]: sequential %v, parallel %v", i, seqPred[i], parPred[i])
+		}
+	}
+}

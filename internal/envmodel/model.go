@@ -64,6 +64,12 @@ type Model struct {
 	outBuf []float64
 	cache  *nn.Cache
 	grads  *nn.Grads
+
+	// batched-training scratch reused across Fit calls: one row per
+	// minibatch sample.
+	bcache         *nn.BatchCache
+	batchX, batchT *mat.Matrix
+	batchD         *mat.Matrix
 }
 
 // New builds an untrained model.
@@ -92,6 +98,10 @@ func New(cfg Config) (*Model, error) {
 		outBuf: make([]float64, cfg.StateDim),
 		cache:  nn.NewCache(net),
 		grads:  nn.NewGrads(net),
+		bcache: nn.NewBatchCache(net, cfg.Batch),
+		batchX: mat.New(cfg.Batch, cfg.StateDim+cfg.ActionDim),
+		batchT: mat.New(cfg.Batch, cfg.StateDim),
+		batchD: mat.New(cfg.Batch, cfg.StateDim),
 	}
 	return m, nil
 }
@@ -122,25 +132,10 @@ func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
 	if epochs <= 0 {
 		return nil, fmt.Errorf("envmodel: epochs must be positive, got %d", epochs)
 	}
-	// Refit normalisers on the full dataset.
-	ins := make([][]float64, d.Len())
-	outs := make([][]float64, d.Len())
-	for i := 0; i < d.Len(); i++ {
-		t := d.At(i)
-		row := make([]float64, 0, m.cfg.StateDim+m.cfg.ActionDim)
-		row = append(row, t.State...)
-		row = append(row, t.Action...)
-		ins[i] = row
-		outs[i] = m.target(t)
-	}
-	m.inNorm = FitNormalizer(ins)
-	m.outNorm = FitNormalizer(outs)
+	m.fitNormalizers(d)
 
 	batch := make([]Transition, m.cfg.Batch)
-	x := make([]float64, m.cfg.StateDim+m.cfg.ActionDim)
-	target := make([]float64, m.cfg.StateDim)
 	raw := make([]float64, m.cfg.StateDim)
-	dOut := make([]float64, m.cfg.StateDim)
 	stepsPerEpoch := (d.Len() + m.cfg.Batch - 1) / m.cfg.Batch
 
 	losses := make([]float64, 0, epochs)
@@ -149,17 +144,23 @@ func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
 		for s := 0; s < stepsPerEpoch; s++ {
 			d.SampleBatch(m.rng, batch)
 			m.grads.Zero()
-			var batchLoss float64
-			for _, t := range batch {
+			// Stage the minibatch as one row-per-sample matrix and run the
+			// batched pass: one GEMM per layer instead of per-sample
+			// matrix-vector products.
+			for i, t := range batch {
+				x := m.batchX.Row(i)
 				copy(x, t.State)
 				copy(x[m.cfg.StateDim:], t.Action)
 				m.inNorm.Apply(x, x)
-				pred := m.net.ForwardCache(m.cache, x, nil)
-				copy(raw, m.target(t))
-				m.outNorm.Apply(target, raw)
-				batchLoss += nn.MSE(dOut, pred, target)
-				m.net.Backward(m.cache, dOut, m.grads)
+				m.targetTo(raw, t)
+				m.outNorm.Apply(m.batchT.Row(i), raw)
 			}
+			pred := m.net.ForwardBatch(m.bcache, m.batchX, nil)
+			var batchLoss float64
+			for i := range batch {
+				batchLoss += nn.MSE(m.batchD.Row(i), pred.Row(i), m.batchT.Row(i))
+			}
+			m.net.BackwardBatch(m.bcache, m.batchD, m.grads)
 			m.grads.Scale(1 / float64(len(batch)))
 			m.grads.ClipGlobalNorm(5)
 			m.opt.Step(m.grads)
@@ -204,6 +205,70 @@ func (m *Model) target(t Transition) []float64 {
 		return t.Next
 	}
 	return mat.VecSub(t.Next, t.State)
+}
+
+// targetTo writes the regression target into dst without allocating — the
+// hot-path variant of target for the Fit staging loop.
+func (m *Model) targetTo(dst []float64, t Transition) {
+	if m.cfg.PredictAbsolute {
+		copy(dst, t.Next)
+		return
+	}
+	for i := range dst {
+		dst[i] = t.Next[i] - t.State[i]
+	}
+}
+
+// fitNormalizers refits inNorm/outNorm on the full dataset without
+// materialising a per-row copy of it. The accumulation order (transitions
+// ascending, dimensions left to right, mean pass then deviation pass) is
+// exactly FitNormalizer's, so the statistics are bit-identical to fitting
+// on explicit rows.
+func (m *Model) fitNormalizers(d *Dataset) {
+	inDim := m.cfg.StateDim + m.cfg.ActionDim
+	in := &Normalizer{Mean: make([]float64, inDim), Std: make([]float64, inDim)}
+	out := &Normalizer{Mean: make([]float64, m.cfg.StateDim), Std: make([]float64, m.cfg.StateDim)}
+	raw := m.outBuf
+	for i := 0; i < d.Len(); i++ {
+		t := d.At(i)
+		for j, v := range t.State {
+			in.Mean[j] += v
+		}
+		for j, v := range t.Action {
+			in.Mean[m.cfg.StateDim+j] += v
+		}
+		m.targetTo(raw, t)
+		for j, v := range raw {
+			out.Mean[j] += v
+		}
+	}
+	inv := 1 / float64(d.Len())
+	mat.VecScale(in.Mean, inv)
+	mat.VecScale(out.Mean, inv)
+	for i := 0; i < d.Len(); i++ {
+		t := d.At(i)
+		for j, v := range t.State {
+			dv := v - in.Mean[j]
+			in.Std[j] += dv * dv
+		}
+		for j, v := range t.Action {
+			dv := v - in.Mean[m.cfg.StateDim+j]
+			in.Std[m.cfg.StateDim+j] += dv * dv
+		}
+		m.targetTo(raw, t)
+		for j, v := range raw {
+			dv := v - out.Mean[j]
+			out.Std[j] += dv * dv
+		}
+	}
+	for j := range in.Std {
+		in.Std[j] = sqrtOr1(in.Std[j] * inv)
+	}
+	for j := range out.Std {
+		out.Std[j] = sqrtOr1(out.Std[j] * inv)
+	}
+	m.inNorm = in
+	m.outNorm = out
 }
 
 // TestLoss returns the mean squared one-step prediction error over d in

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"miras/internal/parallel"
+	"miras/internal/trace"
+)
+
+// runSequentialThenParallel executes f once with the pool forced
+// sequential and once with several workers, returning both results as
+// canonical JSON for byte-level comparison.
+func runSequentialThenParallel(t *testing.T, f func() (any, error)) (seq, par []byte) {
+	t.Helper()
+	t.Cleanup(func() { parallel.SetMaxWorkers(0) })
+	parallel.SetMaxWorkers(1)
+	seqRes, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetMaxWorkers(4)
+	parRes, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err = json.Marshal(seqRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err = json.Marshal(parRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq, par
+}
+
+// TestMultiSeedTableParallelDeterminism is the regression guard for the
+// parallel experiment layer: fanning the seeds across workers must produce
+// byte-identical metrics to the sequential path.
+func TestMultiSeedTableParallelDeterminism(t *testing.T) {
+	s := microSetup(t, "msd")
+	s.CompareWindows = 4
+	run := func(s Setup) (*trace.Table, error) {
+		res, err := Compare(s, []int{10, 10, 10}, []string{"heft", "monad"}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	}
+	seq, par := runSequentialThenParallel(t, func() (any, error) {
+		return MultiSeedTable(s, []int64{1, 2, 3, 4}, run)
+	})
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel multi-seed table differs from sequential:\nseq: %s\npar: %s", seq, par)
+	}
+}
+
+// TestBudgetSweepParallelDeterminism pins the budget-sweep grid fan-out to
+// the sequential results.
+func TestBudgetSweepParallelDeterminism(t *testing.T) {
+	s := microSetup(t, "msd")
+	s.CompareWindows = 5
+	seq, par := runSequentialThenParallel(t, func() (any, error) {
+		return BudgetSweep(s, []string{"heft", "monad"}, []int{6, 14, 24})
+	})
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel budget sweep differs from sequential:\nseq: %s\npar: %s", seq, par)
+	}
+}

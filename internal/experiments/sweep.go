@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"miras/internal/metrics"
+	"miras/internal/parallel"
 	"miras/internal/trace"
 	"miras/internal/workflow"
 )
@@ -28,8 +29,7 @@ func BudgetSweep(s Setup, algorithms []string, budgets []int) (*BudgetSweepResul
 	if len(budgets) == 0 {
 		return nil, fmt.Errorf("experiments: no budgets to sweep")
 	}
-	ens, ok := workflow.ByName(s.EnsembleName)
-	if !ok {
+	if _, ok := workflow.ByName(s.EnsembleName); !ok {
 		return nil, fmt.Errorf("experiments: unknown ensemble %q", s.EnsembleName)
 	}
 	bursts, err := paperOrFallbackBursts(s)
@@ -53,22 +53,43 @@ func BudgetSweep(s Setup, algorithms []string, budgets []int) (*BudgetSweepResul
 		YLabel: "mean response time (s)",
 		X:      x,
 	}
-	for _, name := range algorithms {
-		delays := make([]float64, 0, len(budgets))
-		completed := make([]int, 0, len(budgets))
-		for _, b := range budgets {
-			sb := s
-			sb.Budget = b
-			ctrl, err := controllerByName(name, sb, ens, nil)
-			if err != nil {
-				return nil, err
-			}
-			series, done, _, err := runScenarioFull(sb, bursts[0], ctrl)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep %s@%d: %w", name, b, err)
-			}
-			delays = append(delays, metrics.Mean(series))
-			completed = append(completed, done)
+	// Every (algorithm, budget) point is an independent run — fresh
+	// harness, fresh controller, randomness rooted in the point's own
+	// Setup — so the grid fans out across the worker pool and lands in
+	// index-addressed slots, keeping the output identical to a sequential
+	// sweep.
+	type point struct {
+		delay float64
+		done  int
+	}
+	points := make([]point, len(algorithms)*len(budgets))
+	err = parallel.For(len(points), func(idx int) error {
+		name := algorithms[idx/len(budgets)]
+		b := budgets[idx%len(budgets)]
+		sb := s
+		sb.Budget = b
+		pens, _ := workflow.ByName(sb.EnsembleName) // validated above; fresh per point
+		ctrl, err := controllerByName(name, sb, pens, nil)
+		if err != nil {
+			return err
+		}
+		series, done, _, err := runScenarioFull(sb, bursts[0], ctrl)
+		if err != nil {
+			return fmt.Errorf("experiments: sweep %s@%d: %w", name, b, err)
+		}
+		points[idx] = point{delay: metrics.Mean(series), done: done}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, name := range algorithms {
+		delays := make([]float64, len(budgets))
+		completed := make([]int, len(budgets))
+		for bi := range budgets {
+			p := points[ai*len(budgets)+bi]
+			delays[bi] = p.delay
+			completed[bi] = p.done
 		}
 		res.Table.AddSeries(name, delays)
 		res.Completed[name] = completed
@@ -80,21 +101,35 @@ func BudgetSweep(s Setup, algorithms []string, budgets []int) (*BudgetSweepResul
 // aggregates each series pointwise into mean and mean±std bands — honest
 // error bars for stochastic experiments. Series are matched by name; all
 // runs must produce the same series set.
+//
+// Seeds fan out across the worker pool, so run must be safe for concurrent
+// invocation with distinct Setups (every experiment driver in this package
+// is: all state is built fresh from the Setup). Each run's randomness is
+// rooted in its own seed and results are aggregated in seed order, so the
+// table is bit-for-bit identical to a sequential loop over the seeds.
 func MultiSeedTable(base Setup, seeds []int64, run func(Setup) (*trace.Table, error)) (*trace.Table, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: no seeds")
+	}
+	tables := make([]*trace.Table, len(seeds))
+	err := parallel.For(len(seeds), func(i int) error {
+		s := base
+		s.Seed = seeds[i]
+		t, err := run(s)
+		if err != nil {
+			return fmt.Errorf("experiments: seed %d: %w", seeds[i], err)
+		}
+		tables[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// collected[name][seedIdx] = series values.
 	collected := make(map[string][][]float64)
 	var order []string
 	var template *trace.Table
-	for _, seed := range seeds {
-		s := base
-		s.Seed = seed
-		t, err := run(s)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
-		}
+	for i, t := range tables {
 		if template == nil {
 			template = t
 			for _, series := range t.Series {
@@ -103,7 +138,7 @@ func MultiSeedTable(base Setup, seeds []int64, run func(Setup) (*trace.Table, er
 		}
 		if len(t.Series) != len(order) {
 			return nil, fmt.Errorf("experiments: seed %d produced %d series, want %d",
-				seed, len(t.Series), len(order))
+				seeds[i], len(t.Series), len(order))
 		}
 		for _, series := range t.Series {
 			collected[series.Name] = append(collected[series.Name], series.Values)

@@ -1,0 +1,222 @@
+package mat
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file contains the batched (matrix-matrix) kernels behind the
+// minibatch training path. They are destination-passing and allocation-free
+// in steady state: MulTo packs its right operand into a transposed scratch
+// buffer drawn from a pool, so every inner loop is a contiguous dot product
+// of two row-major rows.
+//
+// Numerically, every kernel accumulates along the shared dimension in
+// ascending order — the same order the per-sample kernels (MulVecTo,
+// MulVecTransTo, AddOuterScaled) use — so batched results match a sequence
+// of per-sample calls to within floating-point noise at the -0.0 edge
+// cases, and typically bit-for-bit.
+
+// gemmBlock is the row-block size for the packed right operand: one block
+// of Bᵀ rows is kept hot in cache while every row of A streams past it.
+const gemmBlock = 64
+
+var gemmScratch = sync.Pool{
+	New: func() any { s := make([]float64, 0, 4096); return &s },
+}
+
+func getScratch(n int) *[]float64 {
+	sp := gemmScratch.Get().(*[]float64)
+	if cap(*sp) < n {
+		*sp = make([]float64, n)
+	}
+	*sp = (*sp)[:n]
+	return sp
+}
+
+// MulTo computes dst = a · b, where a is m×k, b is k×n, and dst is m×n.
+// dst must not alias a or b. The implementation packs b into a transposed
+// scratch layout once and then performs blocked row-by-row dot products,
+// which keeps all three operands on unit-stride access.
+func (dst *Matrix) MulTo(a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulTo inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTo destination %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	k, n := b.Rows, b.Cols
+	sp := getScratch(k * n)
+	bt := *sp
+	for i := 0; i < k; i++ {
+		row := b.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			bt[j*k+i] = v
+		}
+	}
+	mulPackedTrans(dst, a, bt, n)
+	gemmScratch.Put(sp)
+}
+
+// MulTransTo computes dst = a · bᵀ, where a is m×k, b is n×k, and dst is
+// m×n. dst must not alias a or b. b is already in the transposed layout the
+// kernel wants, so no packing is needed; this is the forward-pass shape
+// (inputs · weightsᵀ) and the reason layer weights are stored out×in.
+func (dst *Matrix) MulTransTo(a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTransTo inner dimension mismatch %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulTransTo destination %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	mulPackedTrans(dst, a, b.Data, b.Rows)
+}
+
+// mulPackedTrans computes dst = a · btᵀ where bt holds n rows of length
+// a.Cols (i.e. the right operand already transposed). Rows of bt are
+// processed in blocks so a block stays cache-resident while every row of a
+// streams through it; within a block a 2×4 register micro-kernel shares
+// each loaded element across up to eight accumulator chains. Every output
+// entry is still one plain ascending-order dot product, so results are
+// bit-identical to the per-sample kernels.
+func mulPackedTrans(dst, a *Matrix, bt []float64, n int) {
+	k := a.Cols
+	for j0 := 0; j0 < n; j0 += gemmBlock {
+		j1 := j0 + gemmBlock
+		if j1 > n {
+			j1 = n
+		}
+		i := 0
+		for ; i+1 < a.Rows; i += 2 {
+			// Reslicing every row to an explicit length k lets the
+			// compiler prove p < len(...) and drop the bounds checks in
+			// the micro-kernel.
+			a0 := a.Data[i*k:][:k]
+			a1 := a.Data[(i+1)*k:][:k]
+			d0 := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			d1 := dst.Data[(i+1)*dst.Cols : (i+2)*dst.Cols]
+			j := j0
+			for ; j+3 < j1; j += 4 {
+				b0 := bt[j*k:][:k]
+				b1 := bt[(j+1)*k:][:k]
+				b2 := bt[(j+2)*k:][:k]
+				b3 := bt[(j+3)*k:][:k]
+				var s00, s01, s02, s03, s10, s11, s12, s13 float64
+				for p := 0; p < k; p++ {
+					av0, av1 := a0[p], a1[p]
+					bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+					s00 += av0 * bv0
+					s01 += av0 * bv1
+					s02 += av0 * bv2
+					s03 += av0 * bv3
+					s10 += av1 * bv0
+					s11 += av1 * bv1
+					s12 += av1 * bv2
+					s13 += av1 * bv3
+				}
+				d0[j], d0[j+1], d0[j+2], d0[j+3] = s00, s01, s02, s03
+				d1[j], d1[j+1], d1[j+2], d1[j+3] = s10, s11, s12, s13
+			}
+			for ; j < j1; j++ {
+				brow := bt[j*k:][:k]
+				var s0, s1 float64
+				for p := 0; p < k; p++ {
+					s0 += a0[p] * brow[p]
+					s1 += a1[p] * brow[p]
+				}
+				d0[j], d1[j] = s0, s1
+			}
+		}
+		if i < a.Rows {
+			arow := a.Data[i*k:][:k]
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j := j0; j < j1; j++ {
+				brow := bt[j*k:][:k]
+				var sum float64
+				for p := 0; p < k; p++ {
+					sum += arow[p] * brow[p]
+				}
+				drow[j] = sum
+			}
+		}
+	}
+}
+
+// AddMulATBScaled accumulates dst += s · aᵀ · b, where a is p×m, b is p×n,
+// and dst is m×n. This is the batched rank-k update backprop uses to fold a
+// whole minibatch of outer products into a weight gradient: with a = dPre
+// (batch×out) and b = inputs (batch×in) it is exactly batch sequential
+// AddOuterScaled calls, performed in the same sample order.
+func (dst *Matrix) AddMulATBScaled(a, b *Matrix, s float64) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("mat: AddMulATBScaled batch mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: AddMulATBScaled destination %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	m, n := a.Cols, b.Cols
+	// Two samples per pass halves the read/write traffic on dst. The adds
+	// are explicitly left-associated, so each dst entry sees the samples in
+	// exactly the ascending order sequential AddOuterScaled calls would
+	// apply them.
+	r := 0
+	for ; r+1 < a.Rows; r += 2 {
+		a0 := a.Data[r*m:][:m]
+		a1 := a.Data[(r+1)*m:][:m]
+		b0 := b.Data[r*n:][:n]
+		b1 := b.Data[(r+1)*n:][:n]
+		for i, av0 := range a0 {
+			f0, f1 := s*av0, s*a1[i]
+			if f0 == 0 && f1 == 0 {
+				continue
+			}
+			drow := dst.Data[i*n:][:n]
+			for j := 0; j < n; j++ {
+				drow[j] = (drow[j] + f0*b0[j]) + f1*b1[j]
+			}
+		}
+	}
+	if r < a.Rows {
+		arow := a.Data[r*m : (r+1)*m]
+		brow := b.Data[r*n : (r+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			f := s * av
+			drow := dst.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += f * bv
+			}
+		}
+	}
+}
+
+// AddColumnSumsScaled accumulates dst[j] += s · Σ_i m[i][j] — the batched
+// bias-gradient reduction (each row is one sample's dPre). Rows are folded
+// in ascending order to match sequential per-sample accumulation.
+func (m *Matrix) AddColumnSumsScaled(dst []float64, s float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: AddColumnSumsScaled length %d != cols %d", len(dst), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			dst[j] += s * v
+		}
+	}
+}
+
+// AddRowVector adds v to every row of m in place (broadcast add, used for
+// layer biases on a batched pre-activation).
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mat: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, bv := range v {
+			row[j] += bv
+		}
+	}
+}

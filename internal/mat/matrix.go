@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -279,17 +280,20 @@ func (m *Matrix) Equal(other *Matrix, tol float64) bool {
 
 // String renders m for debugging.
 func (m *Matrix) String() string {
-	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	var b strings.Builder
+	b.Grow(16 + 8*len(m.Data))
+	fmt.Fprintf(&b, "Matrix(%dx%d)[", m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		if i > 0 {
-			s += "; "
+			b.WriteString("; ")
 		}
 		for j := 0; j < m.Cols; j++ {
 			if j > 0 {
-				s += " "
+				b.WriteByte(' ')
 			}
-			s += fmt.Sprintf("%.4g", m.At(i, j))
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
 		}
 	}
-	return s + "]"
+	b.WriteByte(']')
+	return b.String()
 }

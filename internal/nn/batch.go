@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"fmt"
+
+	"miras/internal/mat"
+)
+
+// BatchCache stores the intermediate activations of one batched forward
+// pass — one matrix per layer, one row per sample — so BackwardBatch can
+// compute gradients for a whole minibatch with three GEMM-shaped kernels
+// per layer instead of per-sample vector work. A BatchCache is created for
+// a fixed batch size and may be reused across passes through the same
+// network without allocating.
+type BatchCache struct {
+	batch int
+	// inputs[l] is the (possibly aux-extended) batch×InDim(l) input fed to
+	// layer l; outputs[l] is the batch×OutDim(l) post-activation output.
+	inputs  []*mat.Matrix
+	outputs []*mat.Matrix
+	// dPre and dIn are scratch for the pre-activation and input gradients.
+	dPre []*mat.Matrix
+	dIn  []*mat.Matrix
+	// dGrad is scratch for the incoming output gradient.
+	dGrad *mat.Matrix
+	// dXSplit and dAux split the aux layer's input gradient into its
+	// primary and auxiliary parts (nil when the network has no aux input).
+	dXSplit *mat.Matrix
+	dAux    *mat.Matrix
+}
+
+// NewBatchCache allocates a cache for running batches of the given size
+// through network n.
+func NewBatchCache(n *Network, batch int) *BatchCache {
+	if batch <= 0 {
+		panic(fmt.Sprintf("nn: batch size %d must be positive", batch))
+	}
+	c := &BatchCache{batch: batch}
+	for _, layer := range n.Layers {
+		c.inputs = append(c.inputs, mat.New(batch, layer.InDim()))
+		c.outputs = append(c.outputs, mat.New(batch, layer.OutDim()))
+		c.dPre = append(c.dPre, mat.New(batch, layer.OutDim()))
+		c.dIn = append(c.dIn, mat.New(batch, layer.InDim()))
+	}
+	c.dGrad = mat.New(batch, n.OutDim())
+	if n.AuxLayer >= 0 {
+		split := n.Layers[n.AuxLayer].InDim() - n.AuxDim
+		c.dXSplit = mat.New(batch, split)
+		c.dAux = mat.New(batch, n.AuxDim)
+	}
+	return c
+}
+
+// Batch returns the fixed batch size the cache was built for.
+func (c *BatchCache) Batch() int { return c.batch }
+
+// Output returns the final layer's batch×OutDim output from the most
+// recent ForwardBatch through this cache. The matrix aliases cache storage.
+func (c *BatchCache) Output() *mat.Matrix { return c.outputs[len(c.outputs)-1] }
+
+// ForwardBatch runs the network on a batch of inputs — x is batch×InDim,
+// one sample per row, and aux (nil for networks without an auxiliary
+// input) is batch×AuxDim — storing intermediates in c. Row i of the
+// returned batch×OutDim matrix equals ForwardCache on row i of x and aux;
+// the matrix aliases cache storage and is valid until the next pass.
+func (n *Network) ForwardBatch(c *BatchCache, x, aux *mat.Matrix) *mat.Matrix {
+	if x.Rows != c.batch || x.Cols != n.InDim() {
+		panic(fmt.Sprintf("nn: batch input %dx%d != %dx%d", x.Rows, x.Cols, c.batch, n.InDim()))
+	}
+	if n.AuxLayer >= 0 {
+		if aux == nil || aux.Rows != c.batch || aux.Cols != n.AuxDim {
+			panic(fmt.Sprintf("nn: batch aux must be %dx%d", c.batch, n.AuxDim))
+		}
+	} else if aux != nil {
+		panic("nn: aux input passed to network without AuxLayer")
+	}
+	cur := x
+	for l, layer := range n.Layers {
+		in := c.inputs[l]
+		if l == n.AuxLayer {
+			for r := 0; r < c.batch; r++ {
+				row := in.Row(r)
+				copy(row, cur.Row(r))
+				copy(row[cur.Cols:], aux.Row(r))
+			}
+		} else {
+			in.CopyFrom(cur)
+		}
+		out := c.outputs[l]
+		out.MulTransTo(in, layer.W)
+		out.AddRowVector(layer.B)
+		// Activations are applied row-wise: elementwise activations are
+		// unaffected by the split, and vectorwise ones (Softmax) normalise
+		// per sample as they must.
+		for r := 0; r < c.batch; r++ {
+			o := out.Row(r)
+			layer.Act.Apply(o, o)
+		}
+		cur = out
+	}
+	return cur
+}
+
+// BackwardBatch backpropagates dOut — one row per sample, the gradient of
+// the loss with respect to the batched output recorded in c — accumulating
+// parameter gradients into g (not zeroed here, as with Backward). For each
+// memory location the minibatch is folded in ascending sample order, so the
+// accumulated gradients match batch sequential Backward calls entry for
+// entry. It returns the batched gradients with respect to the primary and
+// auxiliary inputs (dAux is nil without an aux input); both alias cache
+// storage and are valid until the next BackwardBatch through c.
+func (n *Network) BackwardBatch(c *BatchCache, dOut *mat.Matrix, g *Grads) (dX, dAux *mat.Matrix) {
+	last := len(n.Layers) - 1
+	if dOut.Rows != c.batch || dOut.Cols != n.Layers[last].OutDim() {
+		panic(fmt.Sprintf("nn: batch dOut %dx%d != %dx%d", dOut.Rows, dOut.Cols, c.batch, n.Layers[last].OutDim()))
+	}
+	dCur := c.dGrad
+	dCur.CopyFrom(dOut)
+	for l := last; l >= 0; l-- {
+		layer := n.Layers[l]
+		dPre := c.dPre[l]
+		for r := 0; r < c.batch; r++ {
+			layer.Act.Backprop(dPre.Row(r), c.outputs[l].Row(r), dCur.Row(r))
+		}
+		// Parameter gradients: dW += dPreᵀ · inputs (batched rank-k
+		// update), dB += column sums of dPre.
+		g.W[l].AddMulATBScaled(dPre, c.inputs[l], 1)
+		dPre.AddColumnSumsScaled(g.B[l], 1)
+		// Input gradient: dIn = dPre · W.
+		dIn := c.dIn[l]
+		dIn.MulTo(dPre, layer.W)
+		if l == n.AuxLayer {
+			split := layer.InDim() - n.AuxDim
+			for r := 0; r < c.batch; r++ {
+				row := dIn.Row(r)
+				copy(c.dXSplit.Row(r), row[:split])
+				copy(c.dAux.Row(r), row[split:])
+			}
+			dAux = c.dAux
+			dCur = c.dXSplit
+		} else {
+			dCur = dIn
+		}
+	}
+	return dCur, dAux
+}

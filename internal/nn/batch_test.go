@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"miras/internal/mat"
+)
+
+// randomNet builds a random small architecture from rng: 1–3 hidden layers
+// of width 1–24, random activations, and (half the time) an auxiliary
+// input injected at a random layer — covering the aux-input critic shape.
+func randomNet(rng *rand.Rand) (*Network, int, int) {
+	inDim := 1 + rng.Intn(8)
+	outDim := 1 + rng.Intn(6)
+	sizes := []int{inDim}
+	for l, n := 0, 1+rng.Intn(3); l < n; l++ {
+		sizes = append(sizes, 1+rng.Intn(24))
+	}
+	sizes = append(sizes, outDim)
+	hiddens := []Activation{ReLU{}, Tanh{}, Sigmoid{}}
+	outputs := []Activation{Identity{}, Softmax{}, Tanh{}}
+	cfg := Config{
+		Sizes:    sizes,
+		Hidden:   hiddens[rng.Intn(len(hiddens))],
+		Output:   outputs[rng.Intn(len(outputs))],
+		AuxLayer: -1,
+	}
+	auxDim := 0
+	if rng.Intn(2) == 0 {
+		cfg.AuxLayer = rng.Intn(len(sizes) - 1)
+		auxDim = 1 + rng.Intn(5)
+		cfg.AuxDim = auxDim
+	}
+	return NewNetwork(cfg, rng), inDim, auxDim
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var worst float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestBatchMatchesPerSample is the sequential-equivalence property: for a
+// random architecture and batch, ForwardBatch row i equals ForwardCache on
+// sample i, and the gradients BackwardBatch accumulates equal the sum of N
+// per-sample Backward calls, all within 1e-12.
+func TestBatchMatchesPerSample(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net, inDim, auxDim := randomNet(rng)
+		batch := 1 + rng.Intn(9)
+		outDim := net.OutDim()
+
+		x := mat.NewRandn(batch, inDim, 1, rng)
+		var aux *mat.Matrix
+		if auxDim > 0 {
+			aux = mat.NewRandn(batch, auxDim, 1, rng)
+		}
+		dOut := mat.NewRandn(batch, outDim, 1, rng)
+
+		bc := NewBatchCache(net, batch)
+		gotOut := net.ForwardBatch(bc, x, aux)
+		gBatch := NewGrads(net)
+		gotDX, gotDAux := net.BackwardBatch(bc, dOut, gBatch)
+
+		cache := NewCache(net)
+		gSeq := NewGrads(net)
+		const tol = 1e-12
+		for i := 0; i < batch; i++ {
+			var auxRow []float64
+			if aux != nil {
+				auxRow = aux.Row(i)
+			}
+			wantOut := net.ForwardCache(cache, x.Row(i), auxRow)
+			if maxAbsDiff(gotOut.Row(i), wantOut) > tol {
+				t.Logf("seed %d: forward row %d differs", seed, i)
+				return false
+			}
+			wantDX, wantDAux := net.Backward(cache, dOut.Row(i), gSeq)
+			if maxAbsDiff(gotDX.Row(i), wantDX) > tol {
+				t.Logf("seed %d: dX row %d differs", seed, i)
+				return false
+			}
+			if auxDim > 0 && maxAbsDiff(gotDAux.Row(i), wantDAux) > tol {
+				t.Logf("seed %d: dAux row %d differs", seed, i)
+				return false
+			}
+		}
+		for l := range gBatch.W {
+			if maxAbsDiff(gBatch.W[l].Data, gSeq.W[l].Data) > tol {
+				t.Logf("seed %d: layer %d weight grads differ", seed, l)
+				return false
+			}
+			if maxAbsDiff(gBatch.B[l], gSeq.B[l]) > tol {
+				t.Logf("seed %d: layer %d bias grads differ", seed, l)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{
+		MaxCount: 60,
+		Rand:     rand.New(rand.NewSource(99)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchCacheReuse checks a reused BatchCache carries no state between
+// passes: two identical passes give identical outputs and gradients.
+func TestBatchCacheReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := NewNetwork(Config{
+		Sizes: []int{4, 12, 12, 1}, Hidden: Tanh{}, Output: Identity{},
+		AuxLayer: 1, AuxDim: 3,
+	}, rng)
+	const batch = 5
+	x := mat.NewRandn(batch, 4, 1, rng)
+	aux := mat.NewRandn(batch, 3, 1, rng)
+	dOut := mat.NewRandn(batch, 1, 1, rng)
+	bc := NewBatchCache(net, batch)
+
+	out1 := net.ForwardBatch(bc, x, aux).Clone()
+	g1 := NewGrads(net)
+	net.BackwardBatch(bc, dOut, g1)
+
+	// Pollute the cache with a different pass, then repeat the first.
+	net.ForwardBatch(bc, mat.NewRandn(batch, 4, 1, rng), mat.NewRandn(batch, 3, 1, rng))
+	net.BackwardBatch(bc, mat.NewRandn(batch, 1, 1, rng), NewGrads(net))
+
+	out2 := net.ForwardBatch(bc, x, aux).Clone()
+	g2 := NewGrads(net)
+	net.BackwardBatch(bc, dOut, g2)
+
+	if !out1.Equal(out2, 0) {
+		t.Fatal("reused cache changed forward output")
+	}
+	for l := range g1.W {
+		if !g1.W[l].Equal(g2.W[l], 0) {
+			t.Fatalf("reused cache changed layer %d weight grads", l)
+		}
+	}
+}
+
+func TestBatchShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net := NewNetwork(Config{Sizes: []int{3, 5, 2}, AuxLayer: -1}, rng)
+	bc := NewBatchCache(net, 4)
+	for name, fn := range map[string]func(){
+		"wrong input cols": func() { net.ForwardBatch(bc, mat.New(4, 2), nil) },
+		"wrong batch rows": func() { net.ForwardBatch(bc, mat.New(3, 3), nil) },
+		"unexpected aux":   func() { net.ForwardBatch(bc, mat.New(4, 3), mat.New(4, 1)) },
+		"wrong dOut":       func() { net.BackwardBatch(bc, mat.New(4, 3), NewGrads(net)) },
+		"zero batch":       func() { NewBatchCache(net, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -130,6 +130,10 @@ type Cache struct {
 	outputs [][]float64
 	// dPre is scratch for the pre-activation gradient, one slice per layer.
 	dPre [][]float64
+	// dIn is scratch for the input gradient, one slice per layer.
+	dIn [][]float64
+	// dGrad is scratch for the incoming output gradient.
+	dGrad []float64
 }
 
 // NewCache allocates a cache sized for network n.
@@ -138,12 +142,15 @@ func NewCache(n *Network) *Cache {
 		inputs:  make([][]float64, len(n.Layers)),
 		outputs: make([][]float64, len(n.Layers)),
 		dPre:    make([][]float64, len(n.Layers)),
+		dIn:     make([][]float64, len(n.Layers)),
 	}
 	for l, layer := range n.Layers {
 		c.inputs[l] = make([]float64, layer.InDim())
 		c.outputs[l] = make([]float64, layer.OutDim())
 		c.dPre[l] = make([]float64, layer.OutDim())
+		c.dIn[l] = make([]float64, layer.InDim())
 	}
+	c.dGrad = make([]float64, n.OutDim())
 	return c
 }
 
@@ -261,13 +268,15 @@ func (g *Grads) ClipGlobalNorm(maxNorm float64) bool {
 // parameter gradients into g (which must be pre-allocated with NewGrads and
 // is NOT zeroed here, so minibatch gradients can be summed). It returns the
 // gradient with respect to the primary input x and, when the network has an
-// auxiliary input, with respect to aux (nil otherwise).
+// auxiliary input, with respect to aux (nil otherwise). The returned slices
+// alias cache scratch and are valid until the next Backward through c.
 func (n *Network) Backward(c *Cache, dOut []float64, g *Grads) (dX, dAux []float64) {
 	last := len(n.Layers) - 1
 	if len(dOut) != n.Layers[last].OutDim() {
 		panic(fmt.Sprintf("nn: dOut length %d != output dim %d", len(dOut), n.Layers[last].OutDim()))
 	}
-	dCur := mat.VecClone(dOut)
+	dCur := c.dGrad
+	copy(dCur, dOut)
 	for l := last; l >= 0; l-- {
 		layer := n.Layers[l]
 		dPre := c.dPre[l]
@@ -276,7 +285,7 @@ func (n *Network) Backward(c *Cache, dOut []float64, g *Grads) (dX, dAux []float
 		g.W[l].AddOuterScaled(dPre, c.inputs[l], 1)
 		mat.VecAddScaled(g.B[l], dPre, 1)
 		// Input gradient: dIn = Wᵀ · dPre.
-		dIn := make([]float64, layer.InDim())
+		dIn := c.dIn[l]
 		layer.W.MulVecTransTo(dIn, dPre)
 		if l == n.AuxLayer {
 			split := layer.InDim() - n.AuxDim

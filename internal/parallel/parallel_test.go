@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	t.Cleanup(func() { SetMaxWorkers(0) })
+	for _, workers := range []int{1, 2, 8} {
+		SetMaxWorkers(workers)
+		const n = 100
+		counts := make([]atomic.Int64, n)
+		if err := For(n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	t.Cleanup(func() { SetMaxWorkers(0) })
+	errAt := func(i int) error { return fmt.Errorf("item %d", i) }
+	for _, workers := range []int{1, 4} {
+		SetMaxWorkers(workers)
+		var ran atomic.Int64
+		err := For(10, func(i int) error {
+			ran.Add(1)
+			if i == 3 || i == 7 {
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3" {
+			t.Fatalf("workers=%d: err=%v, want item 3", workers, err)
+		}
+		// Failures must not cancel independent items.
+		if got := ran.Load(); got != 10 {
+			t.Fatalf("workers=%d: ran %d items, want 10", workers, got)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	if err := For(0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := For(-3, func(int) error { called = true; return errors.New("x") }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for non-positive n")
+	}
+}
+
+func TestMaxWorkersDefault(t *testing.T) {
+	t.Cleanup(func() { SetMaxWorkers(0) })
+	SetMaxWorkers(0)
+	if got, want := MaxWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("MaxWorkers()=%d, want GOMAXPROCS=%d", got, want)
+	}
+	SetMaxWorkers(-5)
+	if got, want := MaxWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("MaxWorkers()=%d after negative set, want %d", got, want)
+	}
+	SetMaxWorkers(3)
+	if got := MaxWorkers(); got != 3 {
+		t.Fatalf("MaxWorkers()=%d, want 3", got)
+	}
+}

@@ -159,16 +159,21 @@ type DDPG struct {
 	rawNoiseViolations uint64
 	rawNoiseTotal      uint64
 
-	// scratch
-	batch             []Experience
-	actorCache        *nn.Cache
-	criticCache       *nn.Cache
-	actorTargetCache  *nn.Cache
-	criticTargetCache *nn.Cache
-	actorGrads        *nn.Grads
-	criticGrads       *nn.Grads
-	logBuf            []float64
-	updates           uint64
+	// scratch: the minibatch is staged as row-per-sample matrices and run
+	// through the networks' batched path (one GEMM per layer per pass).
+	batch          []Experience
+	actorBC        *nn.BatchCache
+	criticBC       *nn.BatchCache
+	actorTargetBC  *nn.BatchCache
+	criticTargetBC *nn.BatchCache
+	actorGrads     *nn.Grads
+	criticGrads    *nn.Grads
+	bState, bNext  *mat.Matrix
+	bAction, bDA   *mat.Matrix
+	bDOut, bOnes   *mat.Matrix
+	yBuf           []float64
+	logBuf         []float64
+	updates        uint64
 }
 
 // NewDDPG builds an agent.
@@ -222,10 +227,18 @@ func NewDDPG(cfg Config) (*DDPG, error) {
 	d.actorTarget.CopyParamsFrom(actor)
 	d.criticTarget.CopyParamsFrom(critic)
 	d.perturbed.CopyParamsFrom(actor)
-	d.actorCache = nn.NewCache(d.actor)
-	d.criticCache = nn.NewCache(d.critic)
-	d.actorTargetCache = nn.NewCache(d.actorTarget)
-	d.criticTargetCache = nn.NewCache(d.criticTarget)
+	d.actorBC = nn.NewBatchCache(d.actor, cfg.BatchSize)
+	d.criticBC = nn.NewBatchCache(d.critic, cfg.BatchSize)
+	d.actorTargetBC = nn.NewBatchCache(d.actorTarget, cfg.BatchSize)
+	d.criticTargetBC = nn.NewBatchCache(d.criticTarget, cfg.BatchSize)
+	d.bState = mat.New(cfg.BatchSize, cfg.StateDim)
+	d.bNext = mat.New(cfg.BatchSize, cfg.StateDim)
+	d.bAction = mat.New(cfg.BatchSize, cfg.ActionDim)
+	d.bDA = mat.New(cfg.BatchSize, cfg.ActionDim)
+	d.bDOut = mat.New(cfg.BatchSize, 1)
+	d.bOnes = mat.New(cfg.BatchSize, 1)
+	d.bOnes.Fill(1)
+	d.yBuf = make([]float64, 1)
 	switch cfg.Exploration {
 	case ParamSpaceNoise:
 		d.pnoise = NewParamNoise(cfg.NoiseSigma, cfg.NoiseTargetDelta)
@@ -338,77 +351,89 @@ func (d *DDPG) Observe(e Experience) {
 // policy-gradient ascent, target soft updates) and returns the critic loss
 // and the mean Q-value of the actor's actions (the ascent objective). It
 // is a no-op returning zeros until the replay buffer holds one batch.
+//
+// The whole minibatch runs through the networks' batched path: every
+// forward and backward below is one GEMM-shaped pass over a row-per-sample
+// matrix, and all staging buffers are preallocated, so the steady-state
+// update loop is allocation-free.
 func (d *DDPG) Update() (criticLoss, meanQ float64) {
 	if d.replay.Len() < d.cfg.BatchSize {
 		return 0, 0
 	}
 	d.replay.Sample(d.rng, d.batch)
 	cfg := d.cfg
+	invB := 1 / float64(len(d.batch))
+
+	// Stage the normalised states, next states, and stored actions as
+	// batch matrices. The normalizer reuses one buffer, so each result is
+	// copied out before the next call.
+	for i, e := range d.batch {
+		copy(d.bNext.Row(i), d.normalize(e.Next))
+		copy(d.bState.Row(i), d.normalize(e.State))
+		copy(d.bAction.Row(i), e.Action)
+	}
 
 	// ---- Critic update: minimise (Q(s,a) − y)² with
 	// y = r·scale + γ·Q'(s', μ'(s')).
-	d.criticGrads.Zero()
+	targetAction := d.actorTarget.ForwardBatch(d.actorTargetBC, d.bNext, nil)
+	nextQ := d.criticTarget.ForwardBatch(d.criticTargetBC, d.bNext, targetAction)
+	q := d.critic.ForwardBatch(d.criticBC, d.bState, d.bAction)
 	var loss float64
-	dOut := []float64{0}
-	for _, e := range d.batch {
-		// The normalizer reuses one buffer, so consume the next-state
-		// pass fully before normalising the current state.
-		nnext := d.normalize(e.Next)
-		targetAction := d.actorTarget.ForwardCache(d.actorTargetCache, nnext, nil)
-		nextQ := d.criticTarget.ForwardCache(d.criticTargetCache, nnext, targetAction)[0]
-		y := e.Reward*cfg.RewardScale + cfg.Gamma*nextQ
-		ns := d.normalize(e.State)
-		q := d.critic.ForwardCache(d.criticCache, ns, e.Action)
-		loss += nn.HuberLoss(dOut, q, []float64{y}, cfg.HuberDelta)
-		d.critic.Backward(d.criticCache, dOut, d.criticGrads)
+	for i, e := range d.batch {
+		d.yBuf[0] = e.Reward*cfg.RewardScale + cfg.Gamma*nextQ.Row(i)[0]
+		loss += nn.HuberLoss(d.bDOut.Row(i), q.Row(i), d.yBuf, cfg.HuberDelta)
 	}
-	d.criticGrads.Scale(1 / float64(len(d.batch)))
+	d.criticGrads.Zero()
+	d.critic.BackwardBatch(d.criticBC, d.bDOut, d.criticGrads)
+	d.criticGrads.Scale(invB)
 	d.criticGrads.ClipGlobalNorm(5)
 	d.criticOpt.Step(d.criticGrads)
-	criticLoss = loss / float64(len(d.batch))
+	criticLoss = loss * invB
 
 	// ---- Actor update: ascend ∇_Θ μ_Θ(s) · ∇_a Q(s, a)|_{a=μ(s)}.
-	d.actorGrads.Zero()
+	action := d.actor.ForwardBatch(d.actorBC, d.bState, nil)
+	actorQ := d.critic.ForwardBatch(d.criticBC, d.bState, action)
 	var qSum float64
-	for _, e := range d.batch {
-		ns := d.normalize(e.State)
-		action := d.actor.ForwardCache(d.actorCache, ns, nil)
-		q := d.critic.ForwardCache(d.criticCache, ns, action)
-		qSum += q[0]
-		// ∂Q/∂a via the critic's aux-input gradient; critic params get
-		// throwaway gradients.
-		scratch := d.criticGrads
-		scratch.Zero()
-		_, dAction := d.critic.Backward(d.criticCache, []float64{1}, scratch)
-		// Minimise −(Q + β·H(π)) ⇒ dOut_i = (−∂Q/∂a_i + β(log a_i + 1))/N.
-		// The entropy term's gradient ∂H/∂a_i = −(log a_i + 1).
-		//
-		// ∂Q/∂a is normalised to unit L2 per sample before use: the critic
-		// restricted to the simplex is close to linear, so its raw action
-		// gradient points at a vertex with unbounded magnitude, saturating
-		// the softmax long before the critic's value estimates are
-		// trustworthy. Direction-only ascent (cf. the inverting-gradients
-		// treatment of bounded action spaces) keeps the entropy term
-		// commensurate at every Q scale.
-		dA := mat.VecClone(dAction)
+	for i := 0; i < actorQ.Rows; i++ {
+		qSum += actorQ.Row(i)[0]
+	}
+	// ∂Q/∂a via the critic's aux-input gradient; critic params get
+	// throwaway gradients (criticGrads is scratch here, zeroed before its
+	// next real use above).
+	d.criticGrads.Zero()
+	_, dAction := d.critic.BackwardBatch(d.criticBC, d.bOnes, d.criticGrads)
+	// Minimise −(Q + β·H(π)) ⇒ dOut_i = (−∂Q/∂a_i + β(log a_i + 1))/N.
+	// The entropy term's gradient ∂H/∂a_i = −(log a_i + 1).
+	//
+	// ∂Q/∂a is normalised to unit L2 per sample before use: the critic
+	// restricted to the simplex is close to linear, so its raw action
+	// gradient points at a vertex with unbounded magnitude, saturating
+	// the softmax long before the critic's value estimates are
+	// trustworthy. Direction-only ascent (cf. the inverting-gradients
+	// treatment of bounded action spaces) keeps the entropy term
+	// commensurate at every Q scale.
+	for i := 0; i < d.bDA.Rows; i++ {
+		dA := d.bDA.Row(i)
+		copy(dA, dAction.Row(i))
 		if n := mat.VecNorm(dA); n > 1 {
 			mat.VecScale(dA, 1/n)
 		}
 		mat.VecScale(dA, -1)
 		if cfg.EntropyBonus > 0 {
-			for i, ai := range action {
-				if ai < 1e-8 {
-					ai = 1e-8
+			for j, aj := range action.Row(i) {
+				if aj < 1e-8 {
+					aj = 1e-8
 				}
-				dA[i] += cfg.EntropyBonus * (math.Log(ai) + 1)
+				dA[j] += cfg.EntropyBonus * (math.Log(aj) + 1)
 			}
 		}
-		mat.VecScale(dA, 1/float64(len(d.batch)))
-		d.actor.Backward(d.actorCache, dA, d.actorGrads)
+		mat.VecScale(dA, invB)
 	}
+	d.actorGrads.Zero()
+	d.actor.BackwardBatch(d.actorBC, d.bDA, d.actorGrads)
 	d.actorGrads.ClipGlobalNorm(5)
 	d.actorOpt.Step(d.actorGrads)
-	meanQ = qSum / float64(len(d.batch))
+	meanQ = qSum * invB
 
 	// ---- Target soft updates.
 	d.actorTarget.SoftUpdateFrom(d.actor, cfg.Tau)

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the micro-benchmark suite with -benchmem and records the results as
+# BENCH_<date>.json in the repo root (plus the raw `go test` text next to
+# it), so perf changes land with machine-readable before/after evidence.
+#
+# Usage: scripts/bench.sh [bench-regex] [benchtime]
+#   bench-regex defaults to the substrate micro-benchmarks; pass '.' to run
+#   every benchmark (the figure-level ones take minutes).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-BenchmarkMatMulBlocked|BenchmarkNNForward$|BenchmarkNNBackward$|BenchmarkNNForwardBatch|BenchmarkNNBackwardBatch|BenchmarkDDPGUpdate|BenchmarkEnvModelPredict|BenchmarkEnvModelFit}"
+BENCHTIME="${2:-1s}"
+DATE="$(date +%Y%m%d)"
+RAW="BENCH_${DATE}.txt"
+JSON="BENCH_${DATE}.json"
+
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+# Convert the standard benchmark lines into a JSON array. Fields beyond the
+# canonical ns/op, B/op, allocs/op (e.g. MB/s, custom ReportMetric units)
+# are kept as extra key/value pairs.
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s", $1, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_.-]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n]" }
+' "$RAW" >"$JSON"
+
+echo "wrote $RAW and $JSON"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The pre-commit gate: vet, build, full test suite, and the race detector
+# over every package that spawns goroutines (the parallel pool and its
+# three call sites, plus the HTTP server). `make check` runs this.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (goroutine packages)"
+go test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/
+
+echo "OK"
