@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench fmt
+.PHONY: build test vet race check bench fmt obs-demo
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-detect the packages that spawn goroutines: the worker pool, its
-# call sites (ensemble fitting, experiment fan-out), and the HTTP server.
+# call sites (ensemble fitting, experiment fan-out), the HTTP server, and
+# the concurrent metrics registry / recorder.
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/
+	$(GO) test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/ ./internal/obs/
 
 check:
 	./scripts/check.sh
@@ -27,3 +28,8 @@ bench:
 
 fmt:
 	gofmt -l -w .
+
+# Smoke-test the observability surface: start miras-server, scrape
+# /metrics, and fail unless it serves non-empty Prometheus output.
+obs-demo:
+	./scripts/obs_demo.sh

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"miras/internal/experiments"
+	"miras/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,8 @@ func run() error {
 	iterations := flag.Int("iterations", 0, "override Algorithm 2 outer iterations (0 keeps the preset)")
 	stepsPerIter := flag.Int("steps-per-iter", 0, "override real interactions per iteration (0 keeps the preset)")
 	policyEpisodes := flag.Int("policy-episodes", 0, "override synthetic policy episodes per iteration (0 keeps the preset)")
+	traceOut := flag.String("trace-out", "", "optional JSONL trace file for structured telemetry")
+	logLevel := flag.String("log-level", "info", "trace verbosity: debug or info (debug adds per-epoch and per-update events)")
 	flag.Parse()
 
 	s, err := setup(*ensemble, *scale)
@@ -41,6 +44,12 @@ func run() error {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	rec, err := obs.FileRecorder(*traceOut, *logLevel)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+	s.Recorder = rec
 	if *iterations > 0 {
 		s.Iterations = *iterations
 	}

@@ -7,33 +7,88 @@
 //	  -d '{"ensemble":"msd","budget":14}'
 //	curl -X POST localhost:8080/v1/sessions/s1/step \
 //	  -d '{"allocation":[4,4,3,3]}'
+//
+// Operational endpoints (see README "Observability"):
+//
+//	GET /metrics        Prometheus text-format metrics
+//	GET /healthz        liveness probe
+//	    /debug/pprof/*  runtime profiling
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests up to -shutdown-timeout.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"miras/internal/httpapi"
+	"miras/internal/obs"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "miras-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	maxSessions := flag.Int("max-sessions", 64, "maximum concurrent sessions")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second,
+		"grace period for draining requests on SIGINT/SIGTERM")
 	flag.Parse()
 
 	srv := httpapi.NewServer()
 	srv.MaxSessions = *maxSessions
+	obs.RegisterProcessMetrics(srv.Registry())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	obs.MountDebug(mux, srv.Registry())
+
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		// Generous write timeout: pprof CPU profiles block for their
+		// ?seconds= duration (30 s default) before writing.
+		WriteTimeout: 90 * time.Second,
+		IdleTimeout:  120 * time.Second,
 	}
-	fmt.Printf("miras-server listening on %s\n", *addr)
-	if err := httpServer.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "miras-server:", err)
-		os.Exit(1)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	fmt.Printf("miras-server listening on %s (/metrics, /healthz, /debug/pprof/)\n", *addr)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe never returns nil; surface bind failures etc.
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		fmt.Println("miras-server: signal received, draining connections")
+		shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := httpServer.Shutdown(shCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"miras/internal/experiments"
+	"miras/internal/obs"
 	"miras/internal/trace"
 )
 
@@ -39,12 +40,20 @@ func run() error {
 	out := flag.String("out", "results", "output directory for CSV files")
 	budgets := flag.String("budgets", "", "comma-separated budgets for -study budget (default ½C,C,2C)")
 	seeds := flag.String("seeds", "1,2,3", "comma-separated seeds for -study multiseed")
+	traceOut := flag.String("trace-out", "", "optional JSONL trace file for structured telemetry")
+	logLevel := flag.String("log-level", "info", "trace verbosity: debug or info (debug adds per-epoch and per-update events)")
 	flag.Parse()
 
 	s, err := experiments.MediumSetup(*ensemble)
 	if err != nil {
 		return err
 	}
+	rec, err := obs.FileRecorder(*traceOut, *logLevel)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+	s.Recorder = rec
 	switch *study {
 	case "budget":
 		bs, err := parseInts(*budgets)

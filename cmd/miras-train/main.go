@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"miras/internal/experiments"
+	"miras/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func run() error {
 	out := flag.String("out", "results", "output directory for CSV files")
 	savePolicy := flag.String("save-policy", "", "optional path to save the trained policy snapshot (JSON)")
 	seed := flag.Int64("seed", 0, "override experiment seed (0 keeps the preset)")
+	traceOut := flag.String("trace-out", "", "optional JSONL trace file for structured training telemetry")
+	logLevel := flag.String("log-level", "info", "trace verbosity: debug or info (debug adds per-epoch and per-update events)")
 	flag.Parse()
 
 	s, err := setup(*ensemble, *scale)
@@ -38,6 +41,12 @@ func run() error {
 	if *seed != 0 {
 		s.Seed = *seed
 	}
+	rec, err := obs.FileRecorder(*traceOut, *logLevel)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+	s.Recorder = rec
 	fmt.Printf("Fig. 6 MIRAS training: ensemble=%s scale=%s (%d iterations × %d real steps)\n",
 		s.EnsembleName, *scale, s.Iterations, s.StepsPerIteration)
 

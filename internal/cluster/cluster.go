@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"miras/internal/obs"
 	"miras/internal/sim"
 	"miras/internal/workflow"
 )
@@ -48,6 +49,11 @@ type Config struct {
 	// Nodes is the number of simulated machines consumers are placed on
 	// (the paper's testbed has 3 VMs). Defaults to 3.
 	Nodes int
+	// Recorder, when non-nil, receives structured control-loop events:
+	// scaling decisions with queue depths (info) and per-consumer lifecycle
+	// with realised startup delays (debug). Nil disables all telemetry at
+	// zero cost.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +172,8 @@ type Cluster struct {
 	startupRNG *rand.Rand
 	failureRNG *rand.Rand
 
+	rec *obs.Recorder
+
 	failures     uint64
 	redeliveries uint64
 
@@ -204,6 +212,7 @@ func New(cfg Config) (*Cluster, error) {
 		sizeRNG:    cfg.Streams.Stream("cluster/size"),
 		startupRNG: cfg.Streams.Stream("cluster/startup"),
 		failureRNG: cfg.Streams.Stream("cluster/failure"),
+		rec:        cfg.Recorder,
 	}
 	for i := 0; i < j; i++ {
 		n := 1
@@ -345,6 +354,16 @@ func (c *Cluster) SetConsumers(target []int) error {
 		}
 		c.setTarget(j, m)
 	}
+	// One scale event per decision, carrying the queue depths the decision
+	// reacted to — the paper's Figure 1 control actuation, observable.
+	if ev := c.rec.Event("cluster_scale"); ev != nil {
+		ev.T(float64(c.engine.Now())).
+			Ints("target", target).
+			Ints("available", c.Consumers()).
+			Ints("queues", c.QueueLengths()).
+			Int("inflight", c.inFlight).
+			Emit()
+	}
 	return nil
 }
 
@@ -383,6 +402,11 @@ func (c *Cluster) setTarget(j, m int) {
 func (c *Cluster) startConsumer(j int) {
 	svc := c.services[j]
 	delay := sim.Uniform(c.startupRNG, c.cfg.StartupDelayMin, c.cfg.StartupDelayMax)
+	c.rec.Debug("consumer_start").
+		T(float64(c.engine.Now())).
+		Int("service", j).
+		F64("startup_delay", delay).
+		Emit()
 	gen := c.generation
 	var ev *sim.Event
 	ev = c.engine.Schedule(delay, func() {
@@ -392,6 +416,11 @@ func (c *Cluster) startConsumer(j int) {
 		svc.removePendingStart(ev)
 		svc.available++
 		c.nodes.place()
+		c.rec.Debug("consumer_up").
+			T(float64(c.engine.Now())).
+			Int("service", j).
+			Int("available", svc.available).
+			Emit()
 		c.dispatch(j)
 	})
 	svc.pendingStarts = append(svc.pendingStarts, ev)

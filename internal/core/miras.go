@@ -20,6 +20,7 @@ import (
 	"miras/internal/env"
 	"miras/internal/envmodel"
 	"miras/internal/nn"
+	"miras/internal/obs"
 	"miras/internal/rl"
 )
 
@@ -91,6 +92,11 @@ type Config struct {
 	EvalHook func()
 	// Seed drives all randomness.
 	Seed int64
+	// Recorder, when non-nil, threads structured telemetry through the
+	// whole training stack: one info event per outer iteration here, plus
+	// debug events per model epoch and per DDPG minibatch update in the
+	// components it is wired into. Nil disables telemetry at zero cost.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +215,8 @@ func newAgent(cfg Config) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	model.SetRecorder(cfg.Recorder, "model")
+	ddpg.SetRecorder(cfg.Recorder)
 	return &Agent{
 		cfg:     cfg,
 		dataset: envmodel.NewDataset(j, j),
@@ -408,6 +416,18 @@ func (a *Agent) Train() ([]IterationStats, error) {
 			EvalReturn:      evalReturn,
 			NoiseSigma:      a.ddpg.NoiseSigma(),
 		})
+		// One event per Algorithm 2 outer iteration — the Fig. 6 trace.
+		if ev := a.cfg.Recorder.Event("iteration"); ev != nil {
+			ev.Int("iteration", iter).
+				Int("dataset", a.dataset.Len()).
+				F64("model_loss", loss).
+				Int("policy_episodes", episodes).
+				F64("synthetic_return", synthReturn).
+				F64("eval_return", evalReturn).
+				F64("noise_sigma", a.ddpg.NoiseSigma()).
+				Uint("ddpg_updates", a.ddpg.Updates()).
+				Emit()
+		}
 	}
 	if bestActor != nil {
 		a.ddpg.RestoreActorParams(bestActor)

@@ -20,6 +20,7 @@ import (
 
 	"miras/internal/cluster"
 	"miras/internal/mat"
+	"miras/internal/obs"
 	"miras/internal/workload"
 )
 
@@ -38,6 +39,10 @@ type Config struct {
 	// Budget is the total consumer constraint C (14 for MSD, 30 for LIGO
 	// in the paper, §VI-A4). Required, positive.
 	Budget int
+	// Recorder, when non-nil, emits one structured event per control
+	// window (action, end-of-window WIP, reward) and one per rejected
+	// action. Nil disables telemetry at zero cost.
+	Recorder *obs.Recorder
 }
 
 // Stats exposes everything observable about one completed window. RL uses
@@ -185,6 +190,14 @@ func (e *Env) Step(m []int) (StepResult, error) {
 	}
 	if total > e.cfg.Budget {
 		e.violations++
+		if ev := e.cfg.Recorder.Event("constraint_violation"); ev != nil {
+			ev.T(e.cfg.Cluster.Now()).
+				Int("window", e.window).
+				Ints("action", m).
+				Int("total", total).
+				Int("budget", e.cfg.Budget).
+				Emit()
+		}
 		return StepResult{}, fmt.Errorf("env: allocation total %d exceeds budget %d", total, e.cfg.Budget)
 	}
 	c := e.cfg.Cluster
@@ -204,7 +217,20 @@ func (e *Env) Step(m []int) (StepResult, error) {
 	for _, w := range state {
 		sum += w
 	}
-	return StepResult{State: state, Reward: 1 - sum, Stats: stats}, nil
+	res := StepResult{State: state, Reward: 1 - sum, Stats: stats}
+	// One event per window: the (s, a, r) triple of §IV-B plus the
+	// delay observable the paper's evaluation plots (Fig. 6).
+	if ev := e.cfg.Recorder.Event("env_window"); ev != nil {
+		ev.T(c.Now()).
+			Int("window", stats.Window).
+			Ints("action", m).
+			F64s("wip", state).
+			F64("reward", res.Reward).
+			F64("mean_delay", stats.MeanDelay()).
+			Int("completed", len(stats.Completions)).
+			Emit()
+	}
+	return res, nil
 }
 
 // buildStats assembles window observables from counter deltas.

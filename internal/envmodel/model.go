@@ -6,6 +6,7 @@ import (
 
 	"miras/internal/mat"
 	"miras/internal/nn"
+	"miras/internal/obs"
 )
 
 // Config parameterises the environment model.
@@ -70,6 +71,9 @@ type Model struct {
 	bcache         *nn.BatchCache
 	batchX, batchT *mat.Matrix
 	batchD         *mat.Matrix
+
+	rec    *obs.Recorder
+	recTag string
 }
 
 // New builds an untrained model.
@@ -104,6 +108,14 @@ func New(cfg Config) (*Model, error) {
 		batchD: mat.New(cfg.Batch, cfg.StateDim),
 	}
 	return m, nil
+}
+
+// SetRecorder attaches a telemetry recorder; Fit then emits one debug
+// event per epoch, labelled with tag (e.g. the ensemble member name). A
+// nil recorder keeps Fit's hot loop allocation-free.
+func (m *Model) SetRecorder(r *obs.Recorder, tag string) {
+	m.rec = r
+	m.recTag = tag
 }
 
 // StateDim returns the model's state width.
@@ -167,6 +179,12 @@ func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
 			epochLoss += batchLoss / float64(len(batch))
 		}
 		losses = append(losses, epochLoss/float64(stepsPerEpoch))
+		m.rec.Debug("model_epoch").
+			Str("model", m.recTag).
+			Int("epoch", e).
+			F64("loss", losses[e]).
+			Int("dataset", d.Len()).
+			Emit()
 	}
 	return losses, nil
 }

@@ -36,6 +36,7 @@ func mirasConfig(s Setup, h *Harness) core.Config {
 		EvalSteps:         s.EvalSteps,
 		PolicyEpisodes:    s.PolicyEpisodes,
 		Seed:              s.Seed + 21,
+		Recorder:          s.Recorder,
 	}
 }
 

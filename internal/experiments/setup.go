@@ -18,6 +18,7 @@ import (
 
 	"miras/internal/cluster"
 	"miras/internal/env"
+	"miras/internal/obs"
 	"miras/internal/sim"
 	"miras/internal/workflow"
 	"miras/internal/workload"
@@ -64,6 +65,11 @@ type Setup struct {
 	TrainBurstMax []int
 	// Seed roots all randomness.
 	Seed int64
+	// Recorder, when non-nil, is threaded into every harness this Setup
+	// builds (cluster scaling, env windows) and into the training agents
+	// (model epochs, DDPG updates, Algorithm 2 iterations). The CLI tools
+	// populate it from -trace-out; nil disables telemetry at zero cost.
+	Recorder *obs.Recorder
 }
 
 // PaperSetup returns the paper-faithful configuration for "msd" or "ligo"
@@ -234,6 +240,7 @@ func BuildHarness(s Setup, seedOffset int64) (*Harness, error) {
 		Ensemble: ens,
 		Engine:   engine,
 		Streams:  streams,
+		Recorder: s.Recorder,
 	})
 	if err != nil {
 		return nil, err
@@ -252,6 +259,7 @@ func BuildHarness(s Setup, seedOffset int64) (*Harness, error) {
 		Generator: gen,
 		WindowSec: s.WindowSec,
 		Budget:    s.Budget,
+		Recorder:  s.Recorder,
 	})
 	if err != nil {
 		return nil, err

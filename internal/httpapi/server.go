@@ -22,9 +22,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"miras/internal/cluster"
 	"miras/internal/env"
+	"miras/internal/obs"
 	"miras/internal/sim"
 	"miras/internal/workflow"
 	"miras/internal/workload"
@@ -39,6 +41,13 @@ type Server struct {
 	nextID   int
 	// MaxSessions bounds live sessions (default 64).
 	MaxSessions int
+
+	// reg collects server metrics: per-endpoint request counters and
+	// latency histograms (added by instrument) plus per-session env/cluster
+	// gauges. Scrape it via Registry().Handler() or obs.MountDebug.
+	reg          *obs.Registry
+	sessionsLive *obs.Gauge
+	windowsTotal *obs.Counter
 }
 
 // session is one live environment.
@@ -48,24 +57,74 @@ type session struct {
 	env       *env.Env
 	generator *workload.Generator
 	windows   int
+
+	// Per-session gauges, removed from the registry on DELETE.
+	wip      *obs.Gauge
+	inflight *obs.Gauge
 }
 
-// NewServer returns an empty server.
+// NewServer returns an empty server with a fresh metrics registry.
 func NewServer() *Server {
-	return &Server{sessions: make(map[string]*session), MaxSessions: 64}
+	reg := obs.NewRegistry()
+	return &Server{
+		sessions:    make(map[string]*session),
+		MaxSessions: 64,
+		reg:         reg,
+		sessionsLive: reg.Gauge("miras_sessions_live",
+			"Live environment sessions."),
+		windowsTotal: reg.Counter("miras_env_windows_total",
+			"Control windows stepped, across all sessions."),
+	}
 }
 
-// Handler returns the routed http.Handler.
+// Registry exposes the server's metric registry so callers can mount
+// /metrics (see obs.MountDebug) or register extra process metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the routed http.Handler. Every endpoint is wrapped with
+// request-count and latency instrumentation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/ensembles", s.handleEnsembles)
-	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleInfo)
-	mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleStep)
-	mux.HandleFunc("POST /v1/sessions/{id}/reset", s.handleReset)
-	mux.HandleFunc("POST /v1/sessions/{id}/burst", s.handleBurst)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.Handle("GET /v1/ensembles", s.instrument("ensembles", s.handleEnsembles))
+	mux.Handle("POST /v1/sessions", s.instrument("create", s.handleCreate))
+	mux.Handle("GET /v1/sessions/{id}", s.instrument("info", s.handleInfo))
+	mux.Handle("POST /v1/sessions/{id}/step", s.instrument("step", s.handleStep))
+	mux.Handle("POST /v1/sessions/{id}/reset", s.instrument("reset", s.handleReset))
+	mux.Handle("POST /v1/sessions/{id}/burst", s.instrument("burst", s.handleBurst))
+	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
 	return mux
+}
+
+// instrument wraps h with a per-endpoint request counter, error counter,
+// and latency histogram.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	reqs := s.reg.Counter("miras_http_requests_total",
+		"HTTP requests served, by endpoint.", "endpoint", endpoint)
+	errs := s.reg.Counter("miras_http_errors_total",
+		"HTTP responses with status >= 400, by endpoint.", "endpoint", endpoint)
+	dur := s.reg.Histogram("miras_http_request_duration_seconds",
+		"HTTP request latency, by endpoint.", nil, "endpoint", endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		dur.Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
 }
 
 // --- wire types ---
@@ -203,7 +262,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		env:       e,
 		generator: gen,
 	}
+	sess.wip = s.reg.Gauge("miras_env_wip",
+		"Total work-in-progress (queued + in-service tasks), by session.",
+		"session", sess.id)
+	sess.inflight = s.reg.Gauge("miras_cluster_inflight",
+		"Live (incomplete) workflow instances, by session.",
+		"session", sess.id)
 	s.sessions[sess.id] = sess
+	sess.syncGauges()
+	s.sessionsLive.Set(float64(len(s.sessions)))
 	writeJSON(w, http.StatusCreated, s.infoLocked(sess))
 }
 
@@ -249,6 +316,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.windows++
+	s.windowsTotal.Inc()
+	sess.syncGauges()
 	writeJSON(w, http.StatusOK, StepResponse{
 		State:          res.State,
 		Reward:         res.Reward,
@@ -271,6 +340,7 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	state := sess.env.Reset()
+	sess.syncGauges()
 	writeJSON(w, http.StatusOK, map[string][]float64{"state": state})
 }
 
@@ -291,6 +361,7 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
+	sess.syncGauges()
 	writeJSON(w, http.StatusOK, map[string][]float64{"state": sess.env.State()})
 }
 
@@ -303,7 +374,18 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	delete(s.sessions, id)
+	s.reg.Remove("miras_env_wip", "session", id)
+	s.reg.Remove("miras_cluster_inflight", "session", id)
+	s.sessionsLive.Set(float64(len(s.sessions)))
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// syncGauges refreshes the session's env/cluster gauges from the emulated
+// system. Called under the server lock after any state-changing endpoint.
+func (sess *session) syncGauges() {
+	c := sess.env.Cluster()
+	sess.wip.Set(c.TotalWIP())
+	sess.inflight.Set(float64(c.InFlight()))
 }
 
 // SessionCount returns the number of live sessions.

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// MountDebug mounts the operational endpoints on mux:
+//
+//	GET /metrics        the registry in Prometheus text format
+//	GET /healthz        liveness probe ("ok")
+//	    /debug/pprof/*  net/http/pprof profiling handlers
+//
+// pprof is mounted explicitly (not via the package's DefaultServeMux side
+// effect) so servers with custom muxes get it too.
+func MountDebug(mux *http.ServeMux, reg *Registry) {
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// RegisterProcessMetrics adds scrape-time process gauges (goroutines, heap,
+// GC cycles, uptime) so /metrics is never empty, even on an idle server.
+func RegisterProcessMetrics(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("process_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("process_uptime_seconds", "Seconds since process metrics were registered.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("process_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("process_gc_cycles_total", "Completed GC cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
+}

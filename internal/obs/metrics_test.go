@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create: same series returns the same metric.
+	if again := r.Counter("requests_total", "requests"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	// Distinct labels are distinct series.
+	other := r.Counter("requests_total", "requests", "endpoint", "step")
+	if other == c {
+		t.Fatal("labelled series aliases the unlabelled one")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("wip", "work in progress")
+	g.Set(3.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 2.25 {
+		t.Fatalf("gauge = %g, want 2.25", got)
+	}
+}
+
+func TestConcurrentCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits_total", "")
+	g := r.Gauge("level", "")
+	h := r.Histogram("lat", "", []float64{0.5, 1, 2})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.75)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("gauge = %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound (`le`)
+// semantics: a value equal to a bound lands in that bound's bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 4.9, 5, 6, math.Inf(1)} {
+		h.Observe(v)
+	}
+	// Non-cumulative expectations per bucket: ≤1: {0.5, 1}; ≤2: {1.0000001, 2};
+	// ≤5: {4.9, 5}; +Inf overflow: {6, Inf}.
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`d_bucket{le="1"} 2`,
+		`d_bucket{le="2"} 4`,
+		`d_bucket{le="5"} 6`,
+		`d_bucket{le="+Inf"} 8`,
+		`d_count 8`,
+	} {
+		if !strings.Contains(out.String(), line) {
+			t.Errorf("exposition missing %q in:\n%s", line, out.String())
+		}
+	}
+}
+
+// TestPrometheusGolden locks the full exposition format for one registry:
+// ordering, HELP/TYPE lines, label canonicalisation, and value formatting.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("miras_http_requests_total", "HTTP requests served.", "endpoint", "step").Add(3)
+	r.Counter("miras_http_requests_total", "HTTP requests served.", "endpoint", "create").Inc()
+	r.Gauge("miras_sessions_live", "Live sessions.").Set(2)
+	// Labels given in non-sorted order must render sorted by key.
+	r.Gauge("miras_env_wip", "Total WIP.", "session", "s1").Set(7.5)
+	// Binary-exact observations keep the rendered _sum stable.
+	h := r.Histogram("miras_window_seconds", "Window wall time.", []float64{0.25, 1})
+	h.Observe(0.125)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP miras_env_wip Total WIP.
+# TYPE miras_env_wip gauge
+miras_env_wip{session="s1"} 7.5
+# HELP miras_http_requests_total HTTP requests served.
+# TYPE miras_http_requests_total counter
+miras_http_requests_total{endpoint="create"} 1
+miras_http_requests_total{endpoint="step"} 3
+# HELP miras_sessions_live Live sessions.
+# TYPE miras_sessions_live gauge
+miras_sessions_live 2
+# HELP miras_window_seconds Window wall time.
+# TYPE miras_window_seconds histogram
+miras_window_seconds_bucket{le="0.25"} 1
+miras_window_seconds_bucket{le="1"} 2
+miras_window_seconds_bucket{le="+Inf"} 3
+miras_window_seconds_sum 3.625
+miras_window_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRemoveSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("wip", "", "session", "s1").Set(1)
+	r.Gauge("wip", "", "session", "s2").Set(2)
+	r.Remove("wip", "session", "s1")
+	r.Remove("absent_metric", "session", "s1") // no-op
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `session="s1"`) {
+		t.Fatalf("removed series still rendered:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), `wip{session="s2"} 2`) {
+		t.Fatalf("surviving series missing:\n%s", b.String())
+	}
+}
+
+func TestGaugeFuncAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("answer", "The answer.", func() float64 { return 42 })
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "answer 42") {
+		t.Fatalf("handler body missing gauge func value:\n%s", rec.Body.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", "path", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c_total{path="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter/gauge name collision")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "")
+	r.Gauge("x", "")
+}

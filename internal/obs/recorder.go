@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+)
+
+// Recorder writes structured control-loop events as JSON lines through a
+// log/slog JSONHandler. Events carry virtual (simulation) time via T, not
+// wall-clock time — the handler strips slog's time attribute so traces are
+// deterministic and replayable.
+//
+// A nil *Recorder is valid and fully disabled: every method is a nil check,
+// and the event-builder chain allocates nothing, so hot paths can stay
+// instrumented unconditionally.
+//
+// Recorder is safe for concurrent use; each event is written as one line.
+type Recorder struct {
+	logger *slog.Logger
+	level  slog.Level
+	pool   sync.Pool
+	out    *lockedWriter
+}
+
+// lockedWriter serialises writes from concurrent emitters (slog handlers
+// require a concurrency-safe writer) and owns the optional flush/close
+// chain for file-backed recorders.
+type lockedWriter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	flush func() error
+	close func() error
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// NewRecorder returns a recorder writing JSONL events at or above level
+// to w.
+func NewRecorder(w io.Writer, level slog.Level) *Recorder {
+	out := &lockedWriter{w: w}
+	h := slog.NewJSONHandler(out, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{} // drop wall time: traces must be replayable
+			}
+			return a
+		},
+	})
+	r := &Recorder{logger: slog.New(h), level: level, out: out}
+	r.pool.New = func() any { return &Event{attrs: make([]slog.Attr, 0, 16)} }
+	return r
+}
+
+// FileRecorder opens path (truncating) and returns a buffered recorder at
+// the named level ("debug", "info", "warn", "error"). An empty path returns
+// a nil (disabled) recorder with no error — the CLI -trace-out contract.
+// Close flushes and closes the file.
+func FileRecorder(path, level string) (*Recorder, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open trace file: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	r := NewRecorder(bw, lvl)
+	r.out.flush = bw.Flush
+	r.out.close = f.Close
+	return r, nil
+}
+
+// ParseLevel parses a slog level name ("debug", "info", "warn", "error",
+// case-insensitive, with optional +N/-N offsets as in slog).
+func ParseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("obs: bad log level %q (debug, info, warn, error)", s)
+	}
+	return l, nil
+}
+
+// Enabled reports whether events at lvl would be recorded. A nil recorder
+// is never enabled; use it to guard instrumentation that must build slices
+// or other allocating arguments.
+func (r *Recorder) Enabled(lvl slog.Level) bool {
+	return r != nil && lvl >= r.level
+}
+
+// Close flushes buffered output and closes the underlying file, if any.
+// Safe on a nil recorder.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.out.mu.Lock()
+	defer r.out.mu.Unlock()
+	if r.out.flush != nil {
+		if err := r.out.flush(); err != nil {
+			return err
+		}
+	}
+	if r.out.close != nil {
+		return r.out.close()
+	}
+	return nil
+}
+
+// Event starts an info-level event named name, or returns nil (all builder
+// methods no-op) when disabled.
+func (r *Recorder) Event(name string) *Event { return r.at(slog.LevelInfo, name) }
+
+// Debug starts a debug-level event — the level used by per-step hot-path
+// telemetry (DDPG updates, model epochs, consumer lifecycle).
+func (r *Recorder) Debug(name string) *Event { return r.at(slog.LevelDebug, name) }
+
+func (r *Recorder) at(lvl slog.Level, name string) *Event {
+	if r == nil || lvl < r.level {
+		return nil
+	}
+	e := r.pool.Get().(*Event)
+	e.rec, e.level, e.name = r, lvl, name
+	return e
+}
+
+// Event accumulates attributes for one JSONL line. Builders are pooled;
+// every started event must end with Emit. A nil *Event (disabled recorder)
+// accepts the whole chain as no-ops.
+type Event struct {
+	rec   *Recorder
+	level slog.Level
+	name  string
+	attrs []slog.Attr
+}
+
+// T attaches the virtual-time attribute "t" (simulation seconds).
+func (e *Event) T(simTime float64) *Event { return e.F64("t", simTime) }
+
+// F64 attaches a float attribute.
+func (e *Event) F64(k string, v float64) *Event {
+	if e == nil {
+		return nil
+	}
+	e.attrs = append(e.attrs, slog.Float64(k, v))
+	return e
+}
+
+// Int attaches an int attribute.
+func (e *Event) Int(k string, v int) *Event {
+	if e == nil {
+		return nil
+	}
+	e.attrs = append(e.attrs, slog.Int(k, v))
+	return e
+}
+
+// Uint attaches a uint64 attribute.
+func (e *Event) Uint(k string, v uint64) *Event {
+	if e == nil {
+		return nil
+	}
+	e.attrs = append(e.attrs, slog.Uint64(k, v))
+	return e
+}
+
+// Str attaches a string attribute.
+func (e *Event) Str(k, v string) *Event {
+	if e == nil {
+		return nil
+	}
+	e.attrs = append(e.attrs, slog.String(k, v))
+	return e
+}
+
+// Bool attaches a bool attribute.
+func (e *Event) Bool(k string, v bool) *Event {
+	if e == nil {
+		return nil
+	}
+	e.attrs = append(e.attrs, slog.Bool(k, v))
+	return e
+}
+
+// F64s attaches a float-slice attribute (serialised as a JSON array). The
+// slice is read during Emit, synchronously, so callers may reuse it after.
+func (e *Event) F64s(k string, v []float64) *Event {
+	if e == nil {
+		return nil
+	}
+	e.attrs = append(e.attrs, slog.Any(k, v))
+	return e
+}
+
+// Ints attaches an int-slice attribute (serialised as a JSON array).
+func (e *Event) Ints(k string, v []int) *Event {
+	if e == nil {
+		return nil
+	}
+	e.attrs = append(e.attrs, slog.Any(k, v))
+	return e
+}
+
+// Emit writes the event as one JSON line and recycles the builder.
+func (e *Event) Emit() {
+	if e == nil {
+		return
+	}
+	e.rec.logger.LogAttrs(context.Background(), e.level, e.name, e.attrs...)
+	rec := e.rec
+	e.rec = nil
+	e.attrs = e.attrs[:0]
+	rec.pool.Put(e)
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestRecorderJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, slog.LevelInfo)
+	r.Event("window").
+		T(30).
+		Int("window", 1).
+		Ints("action", []int{4, 4, 3, 3}).
+		F64s("wip", []float64{0, 1.5}).
+		F64("reward", -3.5).
+		Str("ensemble", "msd").
+		Bool("burst", true).
+		Uint("updates", 7).
+		Emit()
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	m := lines[0]
+	if m["msg"] != "window" || m["level"] != "INFO" {
+		t.Fatalf("msg/level wrong: %v", m)
+	}
+	if _, hasTime := m["time"]; hasTime {
+		t.Fatal("wall-clock time leaked into the trace; replays would not be deterministic")
+	}
+	if m["t"] != 30.0 || m["reward"] != -3.5 || m["window"] != 1.0 {
+		t.Fatalf("scalar attrs wrong: %v", m)
+	}
+	if a, ok := m["action"].([]any); !ok || len(a) != 4 || a[0] != 4.0 {
+		t.Fatalf("action attr wrong: %v", m["action"])
+	}
+	if w, ok := m["wip"].([]any); !ok || len(w) != 2 || w[1] != 1.5 {
+		t.Fatalf("wip attr wrong: %v", m["wip"])
+	}
+}
+
+func TestRecorderLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, slog.LevelInfo)
+	if r.Debug("noisy") != nil {
+		t.Fatal("Debug should return nil below the recorder level")
+	}
+	r.Debug("noisy").F64("x", 1).Emit() // whole chain must be a no-op
+	r.Event("kept").Emit()
+	lines := decodeLines(t, &buf)
+	if len(lines) != 1 || lines[0]["msg"] != "kept" {
+		t.Fatalf("level filtering wrong: %v", lines)
+	}
+	if !r.Enabled(slog.LevelInfo) || r.Enabled(slog.LevelDebug) {
+		t.Fatal("Enabled disagrees with the configured level")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled(slog.LevelError) {
+		t.Fatal("nil recorder claims enabled")
+	}
+	r.Event("x").T(1).F64("a", 2).Ints("b", []int{1}).Emit() // must not panic
+	r.Debug("y").Str("s", "v").Emit()
+	if err := r.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, slog.LevelDebug)
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Debug("tick").Int("worker", id).Int("i", i).Emit()
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := decodeLines(t, &buf) // every line must parse: no interleaving
+	if len(lines) != workers*per {
+		t.Fatalf("got %d lines, want %d", len(lines), workers*per)
+	}
+}
+
+func TestFileRecorder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	r, err := FileRecorder(path, "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Event("a").Int("n", 1).Emit()
+	r.Debug("b").Emit()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(data), "\n"); got != 2 {
+		t.Fatalf("file has %d lines, want 2:\n%s", got, data)
+	}
+
+	// Empty path: disabled recorder, no file, no error.
+	nilRec, err := FileRecorder("", "info")
+	if err != nil || nilRec != nil {
+		t.Fatalf("empty path: rec=%v err=%v, want nil/nil", nilRec, err)
+	}
+
+	if _, err := FileRecorder(path, "loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+// BenchmarkRecorderDisabled proves the disabled fast path allocates
+// nothing: instrumented hot loops (DDPG updates, model epochs) stay
+// allocation-free when no -trace-out is given.
+func BenchmarkRecorderDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Debug("ddpg_update").
+			Uint("update", uint64(i)).
+			F64("critic_loss", 0.5).
+			F64("mean_q", -1).
+			Int("replay", 1024).
+			Emit()
+	}
+	if testing.AllocsPerRun(100, func() {
+		r.Debug("x").F64("v", 1).Emit()
+	}) != 0 {
+		b.Fatal("disabled recorder path allocates")
+	}
+}
+
+// BenchmarkRecorderLevelFiltered measures the below-level path of a live
+// recorder — also allocation-free, since the builder is never taken from
+// the pool.
+func BenchmarkRecorderLevelFiltered(b *testing.B) {
+	r := NewRecorder(&bytes.Buffer{}, slog.LevelInfo)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Debug("ddpg_update").F64("critic_loss", 0.5).Emit()
+	}
+}
+
+// BenchmarkRecorderEmit measures the enabled path writing to memory.
+func BenchmarkRecorderEmit(b *testing.B) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf, slog.LevelDebug)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		r.Debug("ddpg_update").Uint("update", uint64(i)).F64("critic_loss", 0.5).Emit()
+	}
+}

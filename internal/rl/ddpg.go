@@ -7,6 +7,7 @@ import (
 
 	"miras/internal/mat"
 	"miras/internal/nn"
+	"miras/internal/obs"
 )
 
 // Environment is what the DDPG agent trains against: either the synthetic
@@ -174,6 +175,8 @@ type DDPG struct {
 	yBuf           []float64
 	logBuf         []float64
 	updates        uint64
+
+	rec *obs.Recorder
 }
 
 // NewDDPG builds an agent.
@@ -254,6 +257,10 @@ func NewDDPG(cfg Config) (*DDPG, error) {
 
 // Config returns the resolved configuration.
 func (d *DDPG) Config() Config { return d.cfg }
+
+// SetRecorder attaches a telemetry recorder; each minibatch update then
+// emits a debug event. A nil recorder keeps Update allocation-free.
+func (d *DDPG) SetRecorder(r *obs.Recorder) { d.rec = r }
 
 // ReplayLen returns the number of stored experiences.
 func (d *DDPG) ReplayLen() int { return d.replay.Len() }
@@ -439,6 +446,13 @@ func (d *DDPG) Update() (criticLoss, meanQ float64) {
 	d.actorTarget.SoftUpdateFrom(d.actor, cfg.Tau)
 	d.criticTarget.SoftUpdateFrom(d.critic, cfg.Tau)
 	d.updates++
+	d.rec.Debug("ddpg_update").
+		Uint("update", d.updates).
+		F64("critic_loss", criticLoss).
+		F64("mean_q", meanQ).
+		Int("replay", d.replay.Len()).
+		F64("sigma", d.NoiseSigma()).
+		Emit()
 	return criticLoss, meanQ
 }
 

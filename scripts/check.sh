@@ -6,6 +6,14 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -16,6 +24,6 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (goroutine packages)"
-go test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/
+go test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/ ./internal/obs/
 
 echo "OK"

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Observability smoke test: build miras-server, start it on a local port,
+# wait for /healthz, scrape /metrics, and fail unless the scrape contains
+# actual miras/process metrics. `make obs-demo` runs this.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="${OBS_DEMO_ADDR:-127.0.0.1:18080}"
+BIN="$(mktemp -d)/miras-server"
+
+# fetch PATH — GET a URL and print the body. Prefers curl; falls back to
+# bash's /dev/tcp so the gate needs nothing beyond the base image.
+fetch() {
+    local path="$1"
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "http://$ADDR$path"
+    else
+        local host="${ADDR%:*}" port="${ADDR##*:}"
+        exec 3<>"/dev/tcp/$host/$port"
+        printf 'GET %s HTTP/1.0\r\nHost: %s\r\n\r\n' "$path" "$host" >&3
+        # Strip the status line and headers; keep the body.
+        sed '1,/^\r\{0,1\}$/d' <&3
+        exec 3<&- 3>&-
+    fi
+}
+
+echo "==> building miras-server"
+go build -o "$BIN" ./cmd/miras-server
+
+echo "==> starting miras-server on $ADDR"
+"$BIN" -addr "$ADDR" &
+SERVER_PID=$!
+cleanup() {
+    kill "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+echo "==> waiting for /healthz"
+for _ in $(seq 1 50); do
+    if fetch /healthz 2>/dev/null | grep -q ok; then
+        break
+    fi
+    sleep 0.1
+done
+fetch /healthz | grep -q ok || { echo "server never became healthy" >&2; exit 1; }
+
+echo "==> scraping /metrics"
+metrics=$(fetch /metrics)
+if [ -z "$metrics" ]; then
+    echo "/metrics returned an empty body" >&2
+    exit 1
+fi
+echo "$metrics" | grep -q '^process_goroutines' || {
+    echo "/metrics missing process metrics:" >&2
+    echo "$metrics" >&2
+    exit 1
+}
+echo "$metrics" | grep -q '^# TYPE' || {
+    echo "/metrics missing Prometheus type metadata" >&2
+    exit 1
+}
+
+echo "==> sample:"
+echo "$metrics" | head -8
+echo "OK"
