@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench fmt obs-demo
+.PHONY: build test vet race check bench fmt obs-demo chaos-demo
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-detect the packages that spawn goroutines: the worker pool, its
-# call sites (ensemble fitting, experiment fan-out), the HTTP server, and
-# the concurrent metrics registry / recorder.
+# call sites (ensemble fitting, experiment fan-out), the HTTP server, the
+# concurrent metrics registry / recorder, and the fault injector (driven
+# from concurrent sessions through httpapi).
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/ ./internal/obs/
+	$(GO) test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/ ./internal/obs/ ./internal/faults/
 
 check:
 	./scripts/check.sh
@@ -33,3 +34,8 @@ fmt:
 # /metrics, and fail unless it serves non-empty Prometheus output.
 obs-demo:
 	./scripts/obs_demo.sh
+
+# Determinism smoke test for the fault-injection layer: run a short seeded
+# chaos experiment twice and fail unless the CSVs are byte-identical.
+chaos-demo:
+	./scripts/chaos_demo.sh

@@ -47,8 +47,7 @@ func run() error {
 		"grace period for draining requests on SIGINT/SIGTERM")
 	flag.Parse()
 
-	srv := httpapi.NewServer()
-	srv.MaxSessions = *maxSessions
+	srv := httpapi.NewServer(httpapi.WithMaxSessions(*maxSessions))
 	obs.RegisterProcessMetrics(srv.Registry())
 
 	mux := http.NewServeMux()

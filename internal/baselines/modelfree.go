@@ -31,7 +31,7 @@ func TrainModelFree(e *env.Env, cfg rl.Config, totalSteps, episodeLen int, onRes
 		return nil, fmt.Errorf("baselines: totalSteps=%d episodeLen=%d must be positive", totalSteps, episodeLen)
 	}
 	cfg.StateDim = e.StateDim()
-	cfg.ActionDim = e.StateDim()
+	cfg.ActionDim = e.ActionDim()
 	agent, err := rl.NewDDPG(cfg)
 	if err != nil {
 		return nil, err

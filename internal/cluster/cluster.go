@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"miras/internal/faults"
 	"miras/internal/obs"
 	"miras/internal/sim"
 	"miras/internal/workflow"
@@ -93,6 +94,11 @@ type instance struct {
 	sizeFactor     float64
 	remainingPreds []int
 	nodesDone      int
+	// failed marks an instance lost to a queue-drop fault: no further
+	// tasks are enqueued and no completion is recorded. Tasks already in
+	// queues or in service still occupy capacity (orphan work, as in a
+	// real broker loss).
+	failed bool
 }
 
 // taskRequest is one node of one workflow instance waiting in (or being
@@ -177,6 +183,16 @@ type Cluster struct {
 	failures     uint64
 	redeliveries uint64
 
+	// Fault-effect state driven through the faults.Target hooks. All nil /
+	// zero when healthy, so the fault-free hot path costs one nil check.
+	slowdown         []float64 // per-service service-time multiplier
+	startupSpike     float64   // start-up delay multiplier (0 = off)
+	dropProb         []float64 // per-service queue-drop probability
+	droppedInstances uint64    // workflow instances lost to queue drops
+	injector         *faults.Injector
+	faultsTotal      *obs.Counter
+	crashed          *obs.Counter
+
 	// generation invalidates in-flight completion callbacks across resets.
 	generation uint64
 
@@ -184,8 +200,9 @@ type Cluster struct {
 	completions []Completion
 }
 
-// New validates cfg and returns a fresh cluster with all queues empty.
-func New(cfg Config) (*Cluster, error) {
+// New validates cfg, applies the options, and returns a fresh cluster with
+// all queues empty.
+func New(cfg Config, opts ...Option) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Ensemble == nil || cfg.Engine == nil || cfg.Streams == nil {
 		return nil, fmt.Errorf("cluster: Ensemble, Engine, and Streams are required")
@@ -227,6 +244,13 @@ func New(cfg Config) (*Cluster, error) {
 			c.nodes.place()
 		}
 	}
+	var st settings
+	for _, o := range opts {
+		o(&st)
+	}
+	if err := c.applySettings(st); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -265,12 +289,38 @@ func (c *Cluster) Submit(wf int) {
 }
 
 // enqueue places a task request on its microservice queue and dispatches.
+// During a queue-drop fault episode the request may be dropped instead,
+// failing its workflow instance.
 func (c *Cluster) enqueue(req *taskRequest) {
+	if req.inst.failed {
+		return
+	}
 	j := int(c.tds.TaskOf(req.inst.wf, req.node))
 	svc := c.services[j]
+	if c.dropProb != nil && c.dropProb[j] > 0 && c.failureRNG.Float64() < c.dropProb[j] {
+		c.dropRequest(j, req)
+		return
+	}
 	svc.arrivals++
 	svc.queue = append(svc.queue, req)
 	c.dispatch(j)
+}
+
+// dropRequest loses one task request to a queue-drop fault, failing the
+// whole workflow instance (it can never complete once a node is lost).
+func (c *Cluster) dropRequest(j int, req *taskRequest) {
+	inst := req.inst
+	inst.failed = true
+	c.inFlight--
+	c.droppedInstances++
+	if ev := c.rec.Event("request_dropped"); ev != nil {
+		ev.T(c.engine.Now()).
+			Int("service", j).
+			Int("workflow", inst.wf).
+			Int("node", req.node).
+			Uint("dropped_total", c.droppedInstances).
+			Emit()
+	}
 }
 
 // dispatch starts idle consumers on queued requests for microservice j.
@@ -288,6 +338,12 @@ func (c *Cluster) dispatch(j int) {
 		mean := c.cfg.Ensemble.Tasks[c.tds.TaskOf(req.inst.wf, req.node)].MeanServiceSec
 		cv := c.cfg.Ensemble.Tasks[c.tds.TaskOf(req.inst.wf, req.node)].ServiceCV
 		dur := sim.LogNormal(c.serviceRNG, mean*req.inst.sizeFactor, cv)
+		if c.slowdown != nil {
+			// Slowdown faults stretch the realised duration after the
+			// draw, so the underlying service-time stream is untouched
+			// and fault-free runs stay bit-identical.
+			dur *= c.slowdown[j]
+		}
 		svc.serviceSum += dur
 		svc.serviceCount++
 		gen := c.generation
@@ -313,6 +369,12 @@ func (c *Cluster) complete(j int, req *taskRequest) {
 	svc.completions++
 
 	inst := req.inst
+	if inst.failed {
+		// The instance was lost to a queue drop after this task entered
+		// service; the consumer is freed but the DAG goes no further.
+		c.dispatch(j)
+		return
+	}
 	inst.nodesDone++
 	wt := c.cfg.Ensemble.Workflows[inst.wf]
 	for _, succ := range c.tds.SuccessorNodes(inst.wf, req.node) {
@@ -398,10 +460,19 @@ func (c *Cluster) setTarget(j, m int) {
 
 // startConsumer schedules one container start for microservice j; the
 // consumer becomes available (and is placed on the least-loaded node)
-// after the start-up delay.
+// after the start-up delay, stretched by any active startup-spike fault.
 func (c *Cluster) startConsumer(j int) {
-	svc := c.services[j]
 	delay := sim.Uniform(c.startupRNG, c.cfg.StartupDelayMin, c.cfg.StartupDelayMax)
+	if c.startupSpike > 0 {
+		delay *= c.startupSpike
+	}
+	c.startConsumerAfter(j, delay)
+}
+
+// startConsumerAfter schedules one container start with an explicit delay
+// (a fault plan's MTTR draw, or the normal start-up draw).
+func (c *Cluster) startConsumerAfter(j int, delay float64) {
+	svc := c.services[j]
 	c.rec.Debug("consumer_start").
 		T(float64(c.engine.Now())).
 		Int("service", j).

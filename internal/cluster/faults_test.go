@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"miras/internal/faults"
+	"miras/internal/obs"
+	"miras/internal/sim"
+	"miras/internal/workflow"
+)
+
+// newFaultyCluster is newTestCluster plus construction options.
+func newFaultyCluster(t *testing.T, e *workflow.Ensemble, seed int64, initial []int, opts ...Option) (*Cluster, *sim.Engine) {
+	t.Helper()
+	engine := sim.NewEngine()
+	c, err := New(Config{
+		Ensemble:         e,
+		Engine:           engine,
+		Streams:          sim.NewStreams(seed),
+		StartupDelayMin:  1e-9,
+		StartupDelayMax:  2e-9,
+		InitialConsumers: initial,
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, engine
+}
+
+// TestEmptyPlanLeavesRunBitIdentical is the determinism acceptance check at
+// the cluster level: arming an empty plan must not perturb any RNG stream,
+// so the whole trajectory matches a plan-free run exactly.
+func TestEmptyPlanLeavesRunBitIdentical(t *testing.T) {
+	run := func(opts ...Option) string {
+		c, engine := newFaultyCluster(t, workflow.NewMSD(), 77, []int{2, 2, 2, 2}, opts...)
+		for i := 0; i < 40; i++ {
+			c.Submit(i % c.Ensemble().NumWorkflows())
+		}
+		engine.RunUntil(500)
+		return fmt.Sprint(c.DrainCompletions(), c.WIP(), c.Consumers(), c.Snapshot())
+	}
+	plain := run()
+	empty := run(WithFaultPlan(faults.Plan{}))
+	if plain != empty {
+		t.Fatal("empty fault plan changed the trajectory")
+	}
+}
+
+func TestWithFaultPlanRejectsBadSpec(t *testing.T) {
+	engine := sim.NewEngine()
+	_, err := New(Config{
+		Ensemble: workflow.Toy(),
+		Engine:   engine,
+		Streams:  sim.NewStreams(1),
+	}, WithFaultPlan(faults.Plan{Specs: []faults.Spec{{Kind: "meteor"}}}))
+	if err == nil {
+		t.Fatal("expected construction error for invalid fault plan")
+	}
+}
+
+func TestCrashConsumerExplicitRestartDelay(t *testing.T) {
+	c, engine := newTestCluster(t, workflow.Toy(), 11, []int{1, 1})
+	engine.RunUntil(1) // initial consumers up
+	if err := c.CrashConsumer(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Consumers()[0]; got != 0 {
+		t.Fatalf("consumers[0]=%d after crash, want 0", got)
+	}
+	engine.RunUntil(50) // replacement lands at t=1+50
+	if got := c.Consumers()[0]; got != 0 {
+		t.Fatalf("consumers[0]=%d before restart delay elapsed, want 0", got)
+	}
+	engine.RunUntil(52)
+	if got := c.Consumers()[0]; got != 1 {
+		t.Fatalf("consumers[0]=%d after restart delay, want 1", got)
+	}
+	if c.Failures() != 1 {
+		t.Fatalf("Failures=%d, want 1", c.Failures())
+	}
+}
+
+func TestSlowdownScalesServiceTimes(t *testing.T) {
+	run := func(factor float64) float64 {
+		c, engine := newTestCluster(t, workflow.Toy(), 13, []int{1, 1})
+		if factor != 1 {
+			if err := c.ScheduleFaults(faults.Plan{Specs: []faults.Spec{{
+				Kind: faults.Slowdown, Service: faults.AllServices,
+				StartSec: 0, DurationSec: 10_000, Factor: factor,
+			}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Let the t=0 fault-begin event apply before submitting: initial
+		// consumers are available synchronously, so a t=0 Submit would
+		// dispatch stage 1 ahead of the episode start.
+		engine.RunUntil(1)
+		c.Submit(0)
+		engine.RunUntil(10_000)
+		done := c.DrainCompletions()
+		if len(done) != 1 {
+			t.Fatalf("completions=%d, want 1", len(done))
+		}
+		return done[0].Delay()
+	}
+	healthy := run(1)
+	slowed := run(3)
+	// Same seed → same LogNormal draws; the slowdown multiplies the realised
+	// durations after the draw, so the end-to-end delay scales by exactly
+	// the factor (startup waits are ~1e-9 and vanish in the tolerance).
+	if math.Abs(slowed-3*healthy) > 1e-6 {
+		t.Fatalf("slowed delay %g, want 3×healthy %g", slowed, 3*healthy)
+	}
+}
+
+func TestStartupSpikeStretchesConsumerStarts(t *testing.T) {
+	engine := sim.NewEngine()
+	c, err := New(Config{
+		Ensemble:         workflow.Toy(),
+		Engine:           engine,
+		Streams:          sim.NewStreams(17),
+		StartupDelayMin:  1,
+		StartupDelayMax:  2,
+		InitialConsumers: []int{0, 0}, // force the start-up path for the scale-up
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetStartupSpike(10)
+	if err := c.SetConsumers([]int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(5)
+	if got := c.Consumers()[0]; got != 0 {
+		t.Fatalf("consumer up after %gs despite 10× spike on [1,2]s delays", engine.Now())
+	}
+	engine.RunUntil(25)
+	if got := c.Consumers()[0]; got != 1 {
+		t.Fatal("consumer never came up under spike")
+	}
+}
+
+func TestQueueDropConservation(t *testing.T) {
+	const n = 200
+	c, engine := newTestCluster(t, workflow.Toy(), 19, []int{2, 2})
+	c.SetQueueDrop(0, 0.3)
+	for i := 0; i < n; i++ {
+		c.Submit(0)
+	}
+	engine.RunUntil(100_000)
+	completed := len(c.DrainCompletions())
+	dropped := int(c.Dropped())
+	if dropped == 0 {
+		t.Fatal("no drops at p=0.3 over 200 submissions")
+	}
+	if completed+dropped+c.InFlight() != n {
+		t.Fatalf("conservation broken: completed=%d dropped=%d inflight=%d submitted=%d",
+			completed, dropped, c.InFlight(), n)
+	}
+	if c.InFlight() != 0 || c.TotalWIP() != 0 {
+		t.Fatalf("failed instances left residue: inflight=%d wip=%g", c.InFlight(), c.TotalWIP())
+	}
+	// Reverting to healthy stops the drops.
+	c.SetQueueDrop(0, 0)
+	for i := 0; i < 20; i++ {
+		c.Submit(0)
+	}
+	engine.RunUntil(200_000)
+	if got := int(c.Dropped()); got != dropped {
+		t.Fatalf("drops continued after revert: %d → %d", dropped, got)
+	}
+	if got := len(c.DrainCompletions()); got != 20 {
+		t.Fatalf("healthy completions=%d, want 20", got)
+	}
+}
+
+func TestEffectiveCapacityAndFaultView(t *testing.T) {
+	c, engine := newTestCluster(t, workflow.Toy(), 23, []int{2, 4})
+	engine.RunUntil(1)
+	c.SetServiceSlowdown(1, 2)
+	c.SetQueueDrop(0, 0.25)
+	c.SetStartupSpike(5)
+	cap := c.EffectiveCapacity()
+	if cap[0] != 2 || cap[1] != 2 {
+		t.Fatalf("EffectiveCapacity=%v, want [2 2]", cap)
+	}
+	v := c.FaultView()
+	if fmt.Sprint(v.Consumers) != "[2 4]" || fmt.Sprint(v.Slowdown) != "[1 2]" ||
+		fmt.Sprint(v.DropProb) != "[0.25 0]" || v.StartupSpike != 5 {
+		t.Fatalf("bad FaultView: %+v", v)
+	}
+	if err := c.CrashConsumer(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v = c.FaultView()
+	if v.Crashed != 1 {
+		t.Fatalf("FaultView.Crashed=%d, want 1", v.Crashed)
+	}
+	if got := c.EffectiveCapacity()[1]; got != 1.5 {
+		t.Fatalf("EffectiveCapacity[1]=%g after crash, want 1.5", got)
+	}
+	// A healthy cluster reports identity factors.
+	h, _ := newTestCluster(t, workflow.Toy(), 24, []int{1, 1})
+	hv := h.FaultView()
+	if fmt.Sprint(hv.Slowdown) != "[1 1]" || hv.StartupSpike != 1 || fmt.Sprint(hv.DropProb) != "[0 0]" {
+		t.Fatalf("healthy FaultView not identity: %+v", hv)
+	}
+}
+
+func TestScheduledPlanEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	faultsTotal := reg.Counter("miras_faults_total", "test")
+	crashed := reg.Counter("miras_consumers_crashed", "test")
+	plan := faults.Plan{Specs: []faults.Spec{
+		{Kind: faults.Crash, Service: 0, StartSec: 10, DurationSec: 400, MTTFSec: 30, MTTRSec: 5},
+		{Kind: faults.Slowdown, Service: 1, StartSec: 20, DurationSec: 100, Factor: 2},
+	}}
+	c, engine := newFaultyCluster(t, workflow.Toy(), 29, []int{2, 2},
+		WithFaultPlan(plan), WithFaultMetrics(faultsTotal, crashed))
+	if c.FaultSpecs() != 2 {
+		t.Fatalf("FaultSpecs=%d, want 2", c.FaultSpecs())
+	}
+	for i := 0; i < 30; i++ {
+		c.Submit(0)
+	}
+	engine.RunUntil(60)
+	if len(c.ActiveFaults()) == 0 {
+		t.Fatal("no active faults mid-episode")
+	}
+	engine.RunUntil(100_000)
+	if c.Failures() == 0 {
+		t.Fatal("crash process never killed a consumer")
+	}
+	if faultsTotal.Value() == 0 || crashed.Value() != c.Failures() {
+		t.Fatalf("metrics not wired: faults_total=%d crashed=%d failures=%d",
+			faultsTotal.Value(), crashed.Value(), c.Failures())
+	}
+	if len(c.ActiveFaults()) != 0 {
+		t.Fatalf("faults still active after bounded episodes: %v", c.ActiveFaults())
+	}
+	// The ack mechanism plus restarts must still complete every instance.
+	if got := len(c.DrainCompletions()); got != 30 {
+		t.Fatalf("completions=%d, want all 30 despite crashes", got)
+	}
+}

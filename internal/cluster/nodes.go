@@ -90,6 +90,13 @@ func (c *Cluster) Imbalance() int {
 //
 // It returns an error if microservice j has no live consumers to kill.
 func (c *Cluster) InjectFailure(j int) error {
+	return c.crashConsumer(j, -1)
+}
+
+// crashConsumer is the shared crash path behind InjectFailure and the
+// faults.Target CrashConsumer hook. A non-negative restartDelay overrides
+// the replacement container's start-up draw (the fault plan's MTTR).
+func (c *Cluster) crashConsumer(j int, restartDelay float64) error {
 	if j < 0 || j >= len(c.services) {
 		return fmt.Errorf("cluster: microservice %d out of range", j)
 	}
@@ -118,7 +125,11 @@ func (c *Cluster) InjectFailure(j int) error {
 	// Replication controller: restore the target replica count if the
 	// controller still wants more than we now have committed.
 	if svc.target > svc.available+len(svc.pendingStarts) {
-		c.startConsumer(j)
+		if restartDelay >= 0 {
+			c.startConsumerAfter(j, restartDelay)
+		} else {
+			c.startConsumer(j)
+		}
 	}
 	// A replacement may immediately pick up work once started; meanwhile
 	// the remaining consumers keep draining.

@@ -195,9 +195,10 @@ func NewAgentNoRefine(cfg Config) (*Agent, error) {
 func newAgent(cfg Config) (*Agent, error) {
 	cfg = cfg.withDefaults()
 	j := cfg.Env.StateDim()
+	ad := cfg.Env.ActionDim()
 	model, err := envmodel.New(envmodel.Config{
 		StateDim:  j,
-		ActionDim: j,
+		ActionDim: ad,
 		Hidden:    cfg.ModelHidden,
 		LR:        cfg.ModelLR,
 		Seed:      cfg.Seed + 1,
@@ -207,7 +208,7 @@ func newAgent(cfg Config) (*Agent, error) {
 	}
 	rlCfg := cfg.RL
 	rlCfg.StateDim = j
-	rlCfg.ActionDim = j
+	rlCfg.ActionDim = ad
 	if rlCfg.Seed == 0 {
 		rlCfg.Seed = cfg.Seed + 2
 	}
@@ -219,7 +220,7 @@ func newAgent(cfg Config) (*Agent, error) {
 	ddpg.SetRecorder(cfg.Recorder)
 	return &Agent{
 		cfg:     cfg,
-		dataset: envmodel.NewDataset(j, j),
+		dataset: envmodel.NewDataset(j, ad),
 		model:   model,
 		ddpg:    ddpg,
 		rng:     rand.New(rand.NewSource(cfg.Seed + 3)),
@@ -255,7 +256,7 @@ func (a *Agent) CollectReal(steps int, random bool) error {
 		}
 		var simplex []float64
 		if random {
-			simplex = env.RandomSimplex(e.StateDim(), a.rng)
+			simplex = env.RandomSimplex(e.ActionDim(), a.rng)
 		} else {
 			simplex = a.ddpg.ActExplore(state)
 		}

@@ -43,6 +43,12 @@ type Config struct {
 	// window (action, end-of-window WIP, reward) and one per rejected
 	// action. Nil disables telemetry at zero cost.
 	Recorder *obs.Recorder
+	// FailureAware appends the cluster's per-microservice effective
+	// capacity (started consumers divided by any active slowdown factor)
+	// to the state vector, letting a policy observe fault degradation
+	// directly: s(k) = [w(k) | c_eff(k)], doubling StateDim. The action
+	// space, reward, and Stats are unchanged — see ActionDim.
+	FailureAware bool
 }
 
 // Stats exposes everything observable about one completed window. RL uses
@@ -141,8 +147,22 @@ func New(cfg Config) (*Env, error) {
 	return &Env{cfg: cfg, lastSnap: cfg.Cluster.Snapshot()}, nil
 }
 
-// StateDim returns the state dimension J (number of microservices).
-func (e *Env) StateDim() int { return e.cfg.Cluster.NumTasks() }
+// StateDim returns the observation width: J (the number of microservices)
+// normally, 2J when the environment is failure-aware.
+func (e *Env) StateDim() int {
+	if e.cfg.FailureAware {
+		return 2 * e.cfg.Cluster.NumTasks()
+	}
+	return e.cfg.Cluster.NumTasks()
+}
+
+// ActionDim returns the action width: always J, one consumer count per
+// microservice, regardless of how wide the observation is.
+func (e *Env) ActionDim() int { return e.cfg.Cluster.NumTasks() }
+
+// FailureAware reports whether the state vector carries failure
+// observables.
+func (e *Env) FailureAware() bool { return e.cfg.FailureAware }
 
 // Budget returns the consumer constraint C.
 func (e *Env) Budget() int { return e.cfg.Budget }
@@ -162,24 +182,35 @@ func (e *Env) Window() int { return e.window }
 func (e *Env) ConstraintViolations() int { return e.violations }
 
 // Reset implements the paper's environment reset (§VI-A3): WIP is brought
-// (here: instantly) to zero. Background arrivals keep running. It returns
-// the fresh state observation.
+// (here: instantly) to zero. Background arrivals keep running — and so do
+// any armed faults. It returns the fresh state observation.
 func (e *Env) Reset() []float64 {
 	e.cfg.Cluster.Clear()
 	e.lastSnap = e.cfg.Cluster.Snapshot()
-	return e.cfg.Cluster.WIP()
+	return e.observe(e.cfg.Cluster.WIP())
 }
 
-// State returns the current WIP vector without advancing time.
-func (e *Env) State() []float64 { return e.cfg.Cluster.WIP() }
+// State returns the current observation without advancing time.
+func (e *Env) State() []float64 { return e.observe(e.cfg.Cluster.WIP()) }
+
+// observe extends the WIP vector with the failure observables when the
+// environment is failure-aware; otherwise it returns wip unchanged.
+func (e *Env) observe(wip []float64) []float64 {
+	if !e.cfg.FailureAware {
+		return wip
+	}
+	out := make([]float64, 0, 2*len(wip))
+	out = append(out, wip...)
+	return append(out, e.cfg.Cluster.EffectiveCapacity()...)
+}
 
 // Step applies allocation m for the next window, advances one window of
 // virtual time, and returns the resulting state, reward, and stats. It
 // returns an error (without advancing) if m has the wrong arity, a negative
 // entry, or Σ m_j > Budget.
 func (e *Env) Step(m []int) (StepResult, error) {
-	if len(m) != e.StateDim() {
-		return StepResult{}, fmt.Errorf("env: action has %d entries for %d microservices", len(m), e.StateDim())
+	if len(m) != e.ActionDim() {
+		return StepResult{}, fmt.Errorf("env: action has %d entries for %d microservices", len(m), e.ActionDim())
 	}
 	total := 0
 	for j, v := range m {
@@ -209,22 +240,24 @@ func (e *Env) Step(m []int) (StepResult, error) {
 	e.window++
 
 	snap := c.Snapshot()
-	state := c.WIP()
-	stats := e.buildStats(state, snap)
+	wip := c.WIP()
+	stats := e.buildStats(wip, snap)
 	e.lastSnap = snap
 
+	// Eq. 1 reward is defined on WIP alone; failure observables extend
+	// the state but never the reward.
 	var sum float64
-	for _, w := range state {
+	for _, w := range wip {
 		sum += w
 	}
-	res := StepResult{State: state, Reward: 1 - sum, Stats: stats}
+	res := StepResult{State: e.observe(wip), Reward: 1 - sum, Stats: stats}
 	// One event per window: the (s, a, r) triple of §IV-B plus the
 	// delay observable the paper's evaluation plots (Fig. 6).
 	if ev := e.cfg.Recorder.Event("env_window"); ev != nil {
 		ev.T(c.Now()).
 			Int("window", stats.Window).
 			Ints("action", m).
-			F64s("wip", state).
+			F64s("wip", wip).
 			F64("reward", res.Reward).
 			F64("mean_delay", stats.MeanDelay()).
 			Int("completed", len(stats.Completions)).
@@ -236,7 +269,7 @@ func (e *Env) Step(m []int) (StepResult, error) {
 // buildStats assembles window observables from counter deltas.
 func (e *Env) buildStats(state []float64, snap cluster.Counters) Stats {
 	c := e.cfg.Cluster
-	j := e.StateDim()
+	j := e.ActionDim()
 	st := Stats{
 		Window:         e.window,
 		WIP:            state,
@@ -282,7 +315,7 @@ type Controller interface {
 func Run(e *Env, ctrl Controller, windows int) ([]StepResult, error) {
 	results := make([]StepResult, 0, windows)
 	prev := StepResult{State: e.State(), Stats: Stats{
-		WIP:       e.State(),
+		WIP:       e.Cluster().WIP(),
 		Consumers: e.Cluster().Consumers(),
 	}}
 	for k := 0; k < windows; k++ {

@@ -228,8 +228,11 @@ type Harness struct {
 // BuildHarness constructs a fresh environment for s. seedOffset decorrelates
 // harnesses built from the same Setup (e.g. training vs evaluation runs);
 // harnesses built with equal (Setup, seedOffset) produce identical arrival
-// traces. Background Poisson arrivals are started immediately.
-func BuildHarness(s Setup, seedOffset int64) (*Harness, error) {
+// traces. Background Poisson arrivals are started immediately. Cluster
+// options (e.g. a fault plan for the chaos experiments) are passed through;
+// an absent or empty plan leaves the harness bit-for-bit identical to a
+// plain one.
+func BuildHarness(s Setup, seedOffset int64, copts ...cluster.Option) (*Harness, error) {
 	ens, ok := workflow.ByName(s.EnsembleName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown ensemble %q", s.EnsembleName)
@@ -241,7 +244,7 @@ func BuildHarness(s Setup, seedOffset int64) (*Harness, error) {
 		Engine:   engine,
 		Streams:  streams,
 		Recorder: s.Recorder,
-	})
+	}, copts...)
 	if err != nil {
 		return nil, err
 	}

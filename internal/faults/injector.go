@@ -1,0 +1,285 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"miras/internal/obs"
+	"miras/internal/sim"
+)
+
+// Target is the set of failure hooks the injector drives. *cluster.Cluster
+// implements it; the indirection keeps this package free of a cluster
+// dependency so cluster can in turn accept a Plan at construction.
+type Target interface {
+	// NumServices returns the number of microservices.
+	NumServices() int
+	// CrashConsumer kills one live consumer of the service. restartDelaySec
+	// overrides the replacement container's start-up delay; a negative
+	// value keeps the normal draw. It returns an error when the service
+	// has no live consumer to kill (the crash is then a no-op).
+	CrashConsumer(service int, restartDelaySec float64) error
+	// SetServiceSlowdown sets the service-time multiplier for the service
+	// (1 = healthy).
+	SetServiceSlowdown(service int, factor float64)
+	// SetStartupSpike sets the cluster-wide start-up delay multiplier
+	// (1 = healthy).
+	SetStartupSpike(factor float64)
+	// SetQueueDrop sets the service's per-request drop probability
+	// (0 = healthy).
+	SetQueueDrop(service int, prob float64)
+}
+
+// Injector arms fault plans on a discrete-event engine and tracks what is
+// live. It is single-threaded, like the engine beneath it; callers that
+// share it across goroutines (the HTTP server) must serialise access the
+// same way they serialise engine access.
+type Injector struct {
+	engine  *sim.Engine
+	streams *sim.Streams
+	target  Target
+	rec     *obs.Recorder
+
+	// faultsTotal counts injected fault events (episode activations and
+	// individual crashes); crashed counts consumers actually killed. Both
+	// are optional registry-owned counters.
+	faultsTotal *obs.Counter
+	crashed     *obs.Counter
+
+	nextID    int
+	active    map[int]*ActiveFault
+	scheduled int
+	injected  uint64
+	crashes   uint64
+}
+
+// Option configures an Injector.
+type Option func(*Injector)
+
+// WithRecorder routes fault lifecycle events (fault_begin, fault_end,
+// consumer_crash) to rec.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(in *Injector) { in.rec = rec }
+}
+
+// WithCounters wires the miras_faults_total / miras_consumers_crashed
+// registry counters. Either may be nil.
+func WithCounters(faultsTotal, crashed *obs.Counter) Option {
+	return func(in *Injector) { in.faultsTotal, in.crashed = faultsTotal, crashed }
+}
+
+// NewInjector returns an injector with no armed faults. All randomness is
+// drawn from streams named "faults/<id>/…", so injectors built from equal
+// seeds behave identically and never perturb other components' streams.
+func NewInjector(engine *sim.Engine, streams *sim.Streams, target Target, opts ...Option) (*Injector, error) {
+	if engine == nil || streams == nil || target == nil {
+		return nil, fmt.Errorf("faults: engine, streams, and target are required")
+	}
+	in := &Injector{
+		engine:  engine,
+		streams: streams,
+		target:  target,
+		active:  make(map[int]*ActiveFault),
+	}
+	for _, o := range opts {
+		o(in)
+	}
+	return in, nil
+}
+
+// Schedule validates plan and arms every spec relative to the current
+// virtual time. Scheduling an empty plan is a no-op. Plans compose: later
+// calls add to whatever is already armed.
+func (in *Injector) Schedule(plan Plan) error {
+	if err := plan.Validate(in.target.NumServices()); err != nil {
+		return err
+	}
+	for _, sp := range plan.Specs {
+		id := in.nextID
+		in.nextID++
+		in.scheduled++
+		switch sp.Kind {
+		case Crash:
+			in.armCrash(id, sp)
+		default:
+			in.armEpisode(id, sp)
+		}
+	}
+	return nil
+}
+
+// Scheduled returns the number of specs armed over the injector's lifetime.
+func (in *Injector) Scheduled() int { return in.scheduled }
+
+// Injected returns the number of fault events injected so far (episode
+// activations plus individual consumer crashes).
+func (in *Injector) Injected() uint64 { return in.injected }
+
+// Crashes returns the number of consumers killed so far.
+func (in *Injector) Crashes() uint64 { return in.crashes }
+
+// Active returns the currently live faults, ordered by arming sequence.
+func (in *Injector) Active() []ActiveFault {
+	out := make([]ActiveFault, 0, len(in.active))
+	for _, f := range in.active {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// window computes the spec's absolute [begin, end] interval; end is +Inf
+// for open-ended specs, and wireEnd is its 0-means-open wire form.
+func (in *Injector) window(sp Spec) (begin, end, wireEnd float64) {
+	begin = in.engine.Now() + sp.StartSec
+	end = math.Inf(1)
+	if sp.DurationSec > 0 {
+		end = begin + sp.DurationSec
+		wireEnd = end
+	}
+	return begin, end, wireEnd
+}
+
+// armCrash schedules a crash/restart renewal process: from the episode
+// start, consumers of the target service die with Exponential(MTTF) gaps;
+// each death hands the replacement container an Exponential(MTTR) start-up
+// delay (or the cluster default when MTTR is 0).
+func (in *Injector) armCrash(id int, sp Spec) {
+	rng := in.streams.Stream(fmt.Sprintf("faults/%d/crash", id))
+	begin, end, wireEnd := in.window(sp)
+
+	var fire func()
+	fire = func() {
+		j := sp.Service
+		if j == AllServices {
+			j = rng.Intn(in.target.NumServices())
+		}
+		restart := -1.0
+		if sp.MTTRSec > 0 {
+			restart = sim.Exponential(rng, sp.MTTRSec)
+		}
+		err := in.target.CrashConsumer(j, restart)
+		in.injected++
+		in.count(in.faultsTotal)
+		if err == nil {
+			in.crashes++
+			in.count(in.crashed)
+		}
+		in.rec.Event("consumer_crash").
+			T(in.engine.Now()).
+			Int("fault", id).
+			Int("service", j).
+			F64("restart_delay", restart).
+			Bool("killed", err == nil).
+			Emit()
+		in.reschedule(id, fire, sim.Exponential(rng, sp.MTTFSec), end)
+	}
+	in.engine.Schedule(sp.StartSec, func() {
+		in.activate(id, sp, wireEnd)
+		in.reschedule(id, fire, sim.Exponential(rng, sp.MTTFSec), end)
+	})
+	// Open-ended processes stay in Active forever; bounded ones are
+	// deactivated when the next crash would land past the end.
+	_ = begin
+}
+
+// reschedule arms the next crash after gap, or ends the process when the
+// next event would fall outside the episode.
+func (in *Injector) reschedule(id int, fire func(), gap, end float64) {
+	if in.engine.Now()+gap > end {
+		in.deactivate(id)
+		return
+	}
+	in.engine.Schedule(gap, fire)
+}
+
+// armEpisode schedules a begin/end pair applying and reverting one episode
+// effect. Overlapping episodes of the same kind on the same service are not
+// composed: the end of any of them reverts the service to healthy.
+func (in *Injector) armEpisode(id int, sp Spec) {
+	_, _, wireEnd := in.window(sp)
+	in.engine.Schedule(sp.StartSec, func() {
+		in.apply(sp, true)
+		in.activate(id, sp, wireEnd)
+		in.injected++
+		in.count(in.faultsTotal)
+	})
+	if sp.DurationSec > 0 {
+		in.engine.Schedule(sp.StartSec+sp.DurationSec, func() {
+			in.apply(sp, false)
+			in.deactivate(id)
+		})
+	}
+}
+
+// apply sets (on) or reverts (off) an episode's effect on the target.
+func (in *Injector) apply(sp Spec, on bool) {
+	services := []int{sp.Service}
+	if sp.Service == AllServices {
+		services = services[:0]
+		for j := 0; j < in.target.NumServices(); j++ {
+			services = append(services, j)
+		}
+	}
+	switch sp.Kind {
+	case Slowdown:
+		f := sp.Factor
+		if !on {
+			f = 1
+		}
+		for _, j := range services {
+			in.target.SetServiceSlowdown(j, f)
+		}
+	case StartupSpike:
+		f := sp.Factor
+		if !on {
+			f = 1
+		}
+		in.target.SetStartupSpike(f)
+	case QueueDrop:
+		p := sp.Factor
+		if !on {
+			p = 0
+		}
+		for _, j := range services {
+			in.target.SetQueueDrop(j, p)
+		}
+	}
+}
+
+func (in *Injector) activate(id int, sp Spec, untilSec float64) {
+	in.active[id] = &ActiveFault{
+		ID:       id,
+		Kind:     sp.Kind,
+		Service:  sp.Service,
+		SinceSec: in.engine.Now(),
+		UntilSec: untilSec,
+		Factor:   sp.Factor,
+	}
+	in.rec.Event("fault_begin").
+		T(in.engine.Now()).
+		Int("fault", id).
+		Str("kind", string(sp.Kind)).
+		Int("service", sp.Service).
+		F64("factor", sp.Factor).
+		F64("until", untilSec).
+		Emit()
+}
+
+func (in *Injector) deactivate(id int) {
+	if _, ok := in.active[id]; !ok {
+		return
+	}
+	delete(in.active, id)
+	in.rec.Event("fault_end").
+		T(in.engine.Now()).
+		Int("fault", id).
+		Emit()
+}
+
+func (in *Injector) count(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}

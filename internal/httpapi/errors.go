@@ -1,0 +1,78 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// ErrorCode is a stable, machine-readable error identifier. Codes are part
+// of the v1 wire contract: clients branch on Code, never on Message, and a
+// golden test pins the envelope bytes for every code.
+type ErrorCode string
+
+const (
+	// CodeBadRequest is a malformed request body (invalid JSON).
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeUnknownEnsemble names an ensemble that does not exist.
+	CodeUnknownEnsemble ErrorCode = "unknown_ensemble"
+	// CodeBadSessionConfig is a well-formed create request with invalid
+	// values (bad budget, window, rates, …).
+	CodeBadSessionConfig ErrorCode = "bad_session_config"
+	// CodeSessionLimit means the server is at its live-session bound.
+	CodeSessionLimit ErrorCode = "session_limit"
+	// CodeSessionNotFound means the session id does not exist (never
+	// created, or already deleted).
+	CodeSessionNotFound ErrorCode = "session_not_found"
+	// CodeBadAllocation is a step whose allocation the environment rejects
+	// (wrong arity, negative counts, budget exceeded).
+	CodeBadAllocation ErrorCode = "bad_allocation"
+	// CodeBadBurst is a burst request the generator rejects.
+	CodeBadBurst ErrorCode = "bad_burst"
+	// CodeBadFaultPlan is a fault plan that fails validation.
+	CodeBadFaultPlan ErrorCode = "bad_fault_plan"
+)
+
+// ErrorDetail is the payload inside the error envelope.
+type ErrorDetail struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// ErrorEnvelope is the uniform error response body: every non-2xx response
+// from every endpoint is exactly {"error":{"code":…,"message":…}}.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// writeError emits the structured error envelope.
+func writeError(w http.ResponseWriter, status int, code ErrorCode, err error) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorDetail{Code: code, Message: err.Error()}})
+}
+
+// decodeBody decodes a JSON request body into v, reporting CodeBadRequest
+// on failure. It returns false when the response has already been written.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors after headers are written can only be logged; for
+	// these small payloads they do not occur in practice.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// validateID checks strings that arrive in URLs.
+func validateID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/ ") {
+		return fmt.Errorf("invalid session id %q", id)
+	}
+	return nil
+}

@@ -2,30 +2,53 @@
 // over HTTP so agents written in any language can train against it — the
 // gym-server pattern. Sessions are independent environments; each step
 // applies an allocation for one control window and returns the paper's
-// observables (WIP state, Eq. 1 reward, window statistics).
+// observables (WIP state, Eq. 1 reward, window statistics). Sessions can be
+// made failure-aware and fault plans can be armed against them, so remote
+// agents train under the same chaos regimes the native experiments use.
 //
-// Endpoints (JSON request/response bodies):
+// # Endpoints
 //
-//	GET    /v1/ensembles              list built-in ensembles
-//	POST   /v1/sessions               create a session
-//	GET    /v1/sessions/{id}          session info
-//	POST   /v1/sessions/{id}/step     apply an allocation, advance a window
-//	POST   /v1/sessions/{id}/reset    clear WIP
-//	POST   /v1/sessions/{id}/burst    inject a request burst
-//	DELETE /v1/sessions/{id}          destroy a session
+// All request/response bodies are JSON:
+//
+//	GET    /v1/ensembles              list built-in ensembles ([]EnsembleInfo)
+//	POST   /v1/sessions               create a session (CreateRequest → SessionInfo)
+//	GET    /v1/sessions/{id}          session info (SessionInfo)
+//	POST   /v1/sessions/{id}/step     apply an allocation, advance a window (StepRequest → StepResponse)
+//	POST   /v1/sessions/{id}/reset    clear WIP ({"state": […]})
+//	POST   /v1/sessions/{id}/burst    inject a request burst (BurstRequest → {"state": […]})
+//	POST   /v1/sessions/{id}/faults   arm a fault plan (faults.Plan → SessionInfo)
+//	DELETE /v1/sessions/{id}          destroy a session (204)
+//
+// # Errors
+//
+// Every non-2xx response carries the uniform envelope
+//
+//	{"error": {"code": "<stable code>", "message": "<human detail>"}}
+//
+// with one of the stable codes: bad_request, unknown_ensemble,
+// bad_session_config, session_limit, session_not_found, bad_allocation,
+// bad_burst, bad_fault_plan. Clients branch on code; messages may change.
+//
+// # Fault injection
+//
+// POST /v1/sessions/{id}/faults takes a faults.Plan — {"specs": [Spec…]} —
+// validated against the session's ensemble and armed relative to the
+// session's current virtual time. Plans compose across calls. A session
+// created with "failure_aware": true widens its state vector to
+// [WIP | effective capacity] (StateDim = 2·ActionDim); allocations keep the
+// per-microservice arity (ActionDim).
 package httpapi
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"miras/internal/cluster"
 	"miras/internal/env"
+	"miras/internal/faults"
 	"miras/internal/obs"
 	"miras/internal/sim"
 	"miras/internal/workflow"
@@ -39,15 +62,42 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int
+
 	// MaxSessions bounds live sessions (default 64).
+	//
+	// Deprecated: pass WithMaxSessions to NewServer instead of mutating
+	// this field. It remains exported (and honored) for compatibility.
 	MaxSessions int
 
 	// reg collects server metrics: per-endpoint request counters and
 	// latency histograms (added by instrument) plus per-session env/cluster
-	// gauges. Scrape it via Registry().Handler() or obs.MountDebug.
-	reg          *obs.Registry
+	// gauges and fault counters. Scrape it via Registry().Handler() or
+	// obs.MountDebug.
+	reg *obs.Registry
+	// rec, when set, receives every session's simulation events.
+	rec          *obs.Recorder
 	sessionsLive *obs.Gauge
 	windowsTotal *obs.Counter
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithMaxSessions bounds the number of live sessions (default 64).
+func WithMaxSessions(n int) Option {
+	return func(s *Server) { s.MaxSessions = n }
+}
+
+// WithRegistry uses reg for all server metrics instead of a fresh registry
+// (so one registry can aggregate several subsystems).
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithRecorder routes every session's simulation events (window steps,
+// consumer lifecycle, fault injections) to rec.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(s *Server) { s.rec = rec }
 }
 
 // session is one live environment.
@@ -58,23 +108,31 @@ type session struct {
 	generator *workload.Generator
 	windows   int
 
-	// Per-session gauges, removed from the registry on DELETE.
-	wip      *obs.Gauge
-	inflight *obs.Gauge
+	// Per-session metrics, removed from the registry on DELETE.
+	wip         *obs.Gauge
+	inflight    *obs.Gauge
+	faultsTotal *obs.Counter
+	crashed     *obs.Counter
 }
 
-// NewServer returns an empty server with a fresh metrics registry.
-func NewServer() *Server {
-	reg := obs.NewRegistry()
-	return &Server{
+// NewServer returns an empty server. With no options it uses a fresh
+// metrics registry and allows 64 concurrent sessions.
+func NewServer(opts ...Option) *Server {
+	s := &Server{
 		sessions:    make(map[string]*session),
 		MaxSessions: 64,
-		reg:         reg,
-		sessionsLive: reg.Gauge("miras_sessions_live",
-			"Live environment sessions."),
-		windowsTotal: reg.Counter("miras_env_windows_total",
-			"Control windows stepped, across all sessions."),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.sessionsLive = s.reg.Gauge("miras_sessions_live",
+		"Live environment sessions.")
+	s.windowsTotal = s.reg.Counter("miras_env_windows_total",
+		"Control windows stepped, across all sessions.")
+	return s
 }
 
 // Registry exposes the server's metric registry so callers can mount
@@ -91,6 +149,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/sessions/{id}/step", s.instrument("step", s.handleStep))
 	mux.Handle("POST /v1/sessions/{id}/reset", s.instrument("reset", s.handleReset))
 	mux.Handle("POST /v1/sessions/{id}/burst", s.instrument("burst", s.handleBurst))
+	mux.Handle("POST /v1/sessions/{id}/faults", s.instrument("faults", s.handleFaults))
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
 	return mux
 }
@@ -149,17 +208,39 @@ type CreateRequest struct {
 	// Rates are per-workflow Poisson rates; defaults to the ensemble's
 	// standard background load.
 	Rates []float64 `json:"rates,omitempty"`
+	// FailureAware widens the state vector to [WIP | effective capacity],
+	// exposing fault degradation to the agent (StateDim = 2·ActionDim).
+	FailureAware bool `json:"failure_aware,omitempty"`
+	// Faults, when present, is armed at session creation (virtual t = 0),
+	// equivalent to an immediate POST …/faults.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
-// SessionInfo describes a live session.
+// SessionInfo describes a live session, including its failure surface:
+// live consumers, cumulative crash/loss counters, and active faults.
 type SessionInfo struct {
-	ID        string    `json:"id"`
-	Ensemble  string    `json:"ensemble"`
-	StateDim  int       `json:"state_dim"`
-	Budget    int       `json:"budget"`
-	WindowSec float64   `json:"window_sec"`
-	Windows   int       `json:"windows"`
-	State     []float64 `json:"state"`
+	ID        string  `json:"id"`
+	Ensemble  string  `json:"ensemble"`
+	StateDim  int     `json:"state_dim"`
+	ActionDim int     `json:"action_dim"`
+	Budget    int     `json:"budget"`
+	WindowSec float64 `json:"window_sec"`
+	Windows   int     `json:"windows"`
+	// FailureAware echoes the create flag.
+	FailureAware bool      `json:"failure_aware"`
+	State        []float64 `json:"state"`
+	// Consumers is the per-microservice live (started) consumer count.
+	Consumers []int `json:"consumers"`
+	// Crashed, Redelivered, and Dropped are cumulative failure counters:
+	// consumers killed, requests requeued by the ack mechanism, and
+	// workflow instances lost to queue-drop episodes.
+	Crashed     uint64 `json:"crashed"`
+	Redelivered uint64 `json:"redelivered"`
+	Dropped     uint64 `json:"dropped"`
+	// FaultSpecs counts fault specs armed over the session's lifetime;
+	// ActiveFaults lists the ones currently live.
+	FaultSpecs   int                  `json:"fault_specs"`
+	ActiveFaults []faults.ActiveFault `json:"active_faults,omitempty"`
 }
 
 // StepRequest applies one allocation.
@@ -187,11 +268,6 @@ type BurstRequest struct {
 	Counts []int `json:"counts"`
 }
 
-// errorBody is the uniform error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-}
-
 // --- handlers ---
 
 func (s *Server) handleEnsembles(w http.ResponseWriter, _ *http.Request) {
@@ -209,23 +285,56 @@ func (s *Server) handleEnsembles(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	ens, ok := workflow.ByName(req.Ensemble)
 	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown ensemble %q", req.Ensemble))
+		writeError(w, http.StatusBadRequest, CodeUnknownEnsemble,
+			fmt.Errorf("unknown ensemble %q", req.Ensemble))
 		return
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
+
+	// Build the whole emulated system under the lock: construction is
+	// cheap, and the per-session fault counters need the reserved id.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessions) >= s.MaxSessions {
+		writeError(w, http.StatusTooManyRequests, CodeSessionLimit,
+			fmt.Errorf("session limit %d reached", s.MaxSessions))
+		return
+	}
+	id := "s" + strconv.Itoa(s.nextID+1)
+	faultsTotal := s.reg.Counter("miras_faults_total",
+		"Fault events injected (episode activations and consumer crashes), by session.",
+		"session", id)
+	crashed := s.reg.Counter("miras_consumers_crashed",
+		"Consumers killed by fault injection, by session.",
+		"session", id)
+	cleanup := func() {
+		s.reg.Remove("miras_faults_total", "session", id)
+		s.reg.Remove("miras_consumers_crashed", "session", id)
+	}
+
 	engine := sim.NewEngine()
 	streams := sim.NewStreams(req.Seed)
-	c, err := cluster.New(cluster.Config{Ensemble: ens, Engine: engine, Streams: streams})
+	copts := []cluster.Option{cluster.WithFaultMetrics(faultsTotal, crashed)}
+	if req.Faults != nil {
+		copts = append(copts, cluster.WithFaultPlan(*req.Faults))
+	}
+	c, err := cluster.New(cluster.Config{
+		Ensemble: ens, Engine: engine, Streams: streams, Recorder: s.rec,
+	}, copts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		cleanup()
+		code := CodeBadSessionConfig
+		if req.Faults != nil && req.Faults.Validate(ens.NumTasks()) != nil {
+			code = CodeBadFaultPlan
+		}
+		writeError(w, http.StatusBadRequest, code, err)
 		return
 	}
 	rates := req.Rates
@@ -234,33 +343,33 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	gen, err := workload.NewGenerator(c, streams, engine, rates)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		cleanup()
+		writeError(w, http.StatusBadRequest, CodeBadSessionConfig, err)
 		return
 	}
 	gen.Start()
 	e, err := env.New(env.Config{
-		Cluster:   c,
-		Generator: gen,
-		Budget:    req.Budget,
-		WindowSec: req.WindowSec,
+		Cluster:      c,
+		Generator:    gen,
+		Budget:       req.Budget,
+		WindowSec:    req.WindowSec,
+		Recorder:     s.rec,
+		FailureAware: req.FailureAware,
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		cleanup()
+		writeError(w, http.StatusBadRequest, CodeBadSessionConfig, err)
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.sessions) >= s.MaxSessions {
-		writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit %d reached", s.MaxSessions))
-		return
-	}
 	s.nextID++
 	sess := &session{
-		id:        "s" + strconv.Itoa(s.nextID),
-		ensemble:  req.Ensemble,
-		env:       e,
-		generator: gen,
+		id:          id,
+		ensemble:    req.Ensemble,
+		env:         e,
+		generator:   gen,
+		faultsTotal: faultsTotal,
+		crashed:     crashed,
 	}
 	sess.wip = s.reg.Gauge("miras_env_wip",
 		"Total work-in-progress (queued + in-service tasks), by session.",
@@ -274,45 +383,65 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, s.infoLocked(sess))
 }
 
+// lookup resolves a session id, writing the session_not_found envelope when
+// it is absent. Callers must hold the server lock.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.sessions[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeSessionNotFound,
+			fmt.Errorf("no session %q", id))
+		return nil, false
+	}
+	return sess, true
+}
+
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[r.PathValue("id")]
+	sess, ok := s.lookup(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.infoLocked(sess))
 }
 
 func (s *Server) infoLocked(sess *session) SessionInfo {
+	c := sess.env.Cluster()
+	v := c.FaultView()
 	return SessionInfo{
-		ID:        sess.id,
-		Ensemble:  sess.ensemble,
-		StateDim:  sess.env.StateDim(),
-		Budget:    sess.env.Budget(),
-		WindowSec: sess.env.WindowSec(),
-		Windows:   sess.windows,
-		State:     sess.env.State(),
+		ID:           sess.id,
+		Ensemble:     sess.ensemble,
+		StateDim:     sess.env.StateDim(),
+		ActionDim:    sess.env.ActionDim(),
+		Budget:       sess.env.Budget(),
+		WindowSec:    sess.env.WindowSec(),
+		Windows:      sess.windows,
+		FailureAware: sess.env.FailureAware(),
+		State:        sess.env.State(),
+		Consumers:    v.Consumers,
+		Crashed:      v.Crashed,
+		Redelivered:  v.Redelivered,
+		Dropped:      v.Dropped,
+		FaultSpecs:   c.FaultSpecs(),
+		ActiveFaults: c.ActiveFaults(),
 	}
 }
 
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	var req StepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[r.PathValue("id")]
+	sess, ok := s.lookup(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
 		return
 	}
 	res, err := sess.env.Step(req.Allocation)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeBadAllocation, err)
 		return
 	}
 	sess.windows++
@@ -334,9 +463,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[r.PathValue("id")]
+	sess, ok := s.lookup(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
 		return
 	}
 	state := sess.env.Reset()
@@ -346,23 +474,39 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 	var req BurstRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, ok := s.sessions[r.PathValue("id")]
+	sess, ok := s.lookup(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
 		return
 	}
 	if err := sess.generator.InjectBurst(req.Counts); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeError(w, http.StatusUnprocessableEntity, CodeBadBurst, err)
 		return
 	}
 	sess.syncGauges()
 	writeJSON(w, http.StatusOK, map[string][]float64{"state": sess.env.State()})
+}
+
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	var plan faults.Plan
+	if !decodeBody(w, r, &plan) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if err := sess.env.Cluster().ScheduleFaults(plan); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, CodeBadFaultPlan, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.infoLocked(sess))
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -370,12 +514,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	id := r.PathValue("id")
 	if _, ok := s.sessions[id]; !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		writeError(w, http.StatusNotFound, CodeSessionNotFound,
+			fmt.Errorf("no session %q", id))
 		return
 	}
 	delete(s.sessions, id)
 	s.reg.Remove("miras_env_wip", "session", id)
 	s.reg.Remove("miras_cluster_inflight", "session", id)
+	s.reg.Remove("miras_faults_total", "session", id)
+	s.reg.Remove("miras_consumers_crashed", "session", id)
 	s.sessionsLive.Set(float64(len(s.sessions)))
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -393,24 +540,4 @@ func (s *Server) SessionCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// Encoding errors after headers are written can only be logged; for
-	// these small payloads they do not occur in practice.
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
-}
-
-// Validate checks strings that arrive in URLs; exported for tests.
-func validateID(id string) error {
-	if id == "" || strings.ContainsAny(id, "/ ") {
-		return fmt.Errorf("invalid session id %q", id)
-	}
-	return nil
 }

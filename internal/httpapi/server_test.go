@@ -182,8 +182,7 @@ func TestUnknownSessionRoutes(t *testing.T) {
 }
 
 func TestSessionLimit(t *testing.T) {
-	srv := NewServer()
-	srv.MaxSessions = 2
+	srv := NewServer(WithMaxSessions(2))
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	c := &client{t: t, srv: ts}

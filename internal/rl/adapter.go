@@ -43,8 +43,9 @@ func (w *WindowedEnv) Inner() *env.Env { return w.inner }
 func (w *WindowedEnv) StateDim() int { return w.inner.StateDim() }
 
 // ActionDim implements Environment. The action simplex has one share per
-// microservice.
-func (w *WindowedEnv) ActionDim() int { return w.inner.StateDim() }
+// microservice — narrower than the state when the environment is
+// failure-aware.
+func (w *WindowedEnv) ActionDim() int { return w.inner.ActionDim() }
 
 // Reset implements Environment.
 func (w *WindowedEnv) Reset() []float64 {

@@ -24,6 +24,6 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (goroutine packages)"
-go test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/ ./internal/obs/
+go test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/ ./internal/obs/ ./internal/faults/
 
 echo "OK"
