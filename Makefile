@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench fmt obs-demo chaos-demo
+.PHONY: build test vet race check bench fmt fuzz-smoke obs-demo chaos-demo golden-demo
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detect the packages that spawn goroutines: the worker pool, its
-# call sites (ensemble fitting, experiment fan-out), the HTTP server, the
-# concurrent metrics registry / recorder, and the fault injector (driven
-# from concurrent sessions through httpapi).
+# Race-detect everything. Most packages are single-threaded and cheap under
+# the detector; the ones that matter spawn goroutines (the worker pool, the
+# HTTP server, the metrics registry) and stay covered without a hand-kept
+# list going stale.
 race:
-	$(GO) test -race ./internal/parallel/ ./internal/envmodel/ ./internal/experiments/ ./internal/httpapi/ ./internal/obs/ ./internal/faults/
+	$(GO) test -race ./...
 
 check:
 	./scripts/check.sh
@@ -30,6 +30,15 @@ bench:
 fmt:
 	gofmt -l -w .
 
+# Short fuzz runs over the three untrusted input surfaces (workflow JSON,
+# fault plans, HTTP session creation). Go allows one -fuzz pattern per
+# invocation, hence three runs; each extends the committed seed corpus in
+# the package's testdata/fuzz/ only in the local build cache.
+fuzz-smoke:
+	$(GO) test ./internal/workflow/ -fuzz FuzzWorkflowJSON -fuzztime 10s
+	$(GO) test ./internal/faults/ -fuzz FuzzFaultPlanValidate -fuzztime 10s
+	$(GO) test ./internal/httpapi/ -fuzz FuzzHTTPCreateSession -fuzztime 10s
+
 # Smoke-test the observability surface: start miras-server, scrape
 # /metrics, and fail unless it serves non-empty Prometheus output.
 obs-demo:
@@ -39,3 +48,9 @@ obs-demo:
 # chaos experiment twice and fail unless the CSVs are byte-identical.
 chaos-demo:
 	./scripts/chaos_demo.sh
+
+# Golden end-to-end regression gate: seeded short-horizon train / compare /
+# chaos runs (invariants live) whose CSV sha256s are pinned in
+# scripts/testdata/golden_demo.sha256. Refresh with scripts/golden_demo.sh --update.
+golden-demo:
+	./scripts/golden_demo.sh

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"miras/internal/cluster"
 	"miras/internal/experiments"
 	"miras/internal/obs"
 )
@@ -39,6 +40,7 @@ func run() error {
 	windows := flag.Int("windows", 0, "override evaluation windows per regime (0 keeps the preset)")
 	traceOut := flag.String("trace-out", "", "optional JSONL trace file for structured telemetry")
 	logLevel := flag.String("log-level", "info", "trace verbosity: debug or info")
+	selfCheck := flag.Bool("selfcheck", false, "run the determinism self-check under every fault regime (paired seeded runs must produce identical digests) and exit")
 	flag.Parse()
 
 	s, err := setup(*ensemble, *scale)
@@ -50,6 +52,17 @@ func run() error {
 	}
 	if *windows > 0 {
 		s.CompareWindows = *windows
+	}
+	if *selfCheck {
+		for _, regime := range experiments.ChaosRegimes(s) {
+			res, err := experiments.SelfCheck(s, 0, cluster.WithFaultPlan(regime.Plan))
+			if err != nil {
+				return fmt.Errorf("regime %s: %w", regime.Name, err)
+			}
+			fmt.Printf("determinism self-check passed: regime=%-13s %d windows, digest %#016x\n",
+				regime.Name, res.Windows, res.Digest)
+		}
+		return nil
 	}
 	rec, err := obs.FileRecorder(*traceOut, *logLevel)
 	if err != nil {

@@ -32,6 +32,7 @@ func run() error {
 	seed := flag.Int64("seed", 0, "override experiment seed (0 keeps the preset)")
 	traceOut := flag.String("trace-out", "", "optional JSONL trace file for structured training telemetry")
 	logLevel := flag.String("log-level", "info", "trace verbosity: debug or info (debug adds per-epoch and per-update events)")
+	selfCheck := flag.Bool("selfcheck", false, "run the determinism self-check (two identically seeded short runs must produce identical digests) and exit")
 	flag.Parse()
 
 	s, err := setup(*ensemble, *scale)
@@ -40,6 +41,14 @@ func run() error {
 	}
 	if *seed != 0 {
 		s.Seed = *seed
+	}
+	if *selfCheck {
+		res, err := experiments.SelfCheck(s, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("determinism self-check passed: %d windows, digest %#016x\n", res.Windows, res.Digest)
+		return nil
 	}
 	rec, err := obs.FileRecorder(*traceOut, *logLevel)
 	if err != nil {

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+
+	"miras/internal/invariant"
+)
+
+// TestRun executes the example end-to-end with runtime invariants live: a
+// regression that breaks the example, or any invariant violation along its
+// path, fails the suite instead of rotting silently in documentation.
+func TestRun(t *testing.T) {
+	invariant.Enable(true)
+	defer invariant.Enable(false)
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"miras/internal/faults"
+	"miras/internal/invariant"
 	"miras/internal/obs"
 	"miras/internal/sim"
 	"miras/internal/workflow"
@@ -198,6 +199,16 @@ type Cluster struct {
 
 	inFlight    int // live workflow instances
 	completions []Completion
+
+	// Lifetime instance accounting for the conservation invariant:
+	// submitted == completedInstances + inFlight + droppedInstances + abandoned.
+	submitted          uint64
+	completedInstances uint64
+	abandoned          uint64 // in-flight instances discarded by Clear
+
+	// inv holds the cluster's registered runtime invariants; env runs it at
+	// every window boundary via CheckInvariants. No-op unless enabled.
+	inv *invariant.Set
 }
 
 // New validates cfg, applies the options, and returns a fresh cluster with
@@ -251,8 +262,71 @@ func New(cfg Config, opts ...Option) (*Cluster, error) {
 	if err := c.applySettings(st); err != nil {
 		return nil, err
 	}
+	c.registerInvariants()
 	return c, nil
 }
+
+// registerInvariants declares the cluster's runtime invariants. They are
+// evaluated by CheckInvariants (a no-op while invariant checking is
+// disabled), which env.Step runs at every window boundary.
+func (c *Cluster) registerInvariants() {
+	inv := invariant.NewSet("cluster")
+	// Workflow-instance conservation: nothing the invoker submitted may
+	// leak. Every instance is exactly one of completed, in flight, dropped
+	// by a queue-drop fault, or abandoned by an explicit Clear.
+	inv.Register("conservation", func() error {
+		accounted := c.completedInstances + uint64(c.inFlight) + c.droppedInstances + c.abandoned
+		if c.inFlight < 0 || c.submitted != accounted {
+			return fmt.Errorf("submitted %d != completed %d + in-flight %d + dropped %d + abandoned %d",
+				c.submitted, c.completedInstances, c.inFlight, c.droppedInstances, c.abandoned)
+		}
+		return nil
+	})
+	// Per-microservice pool sanity: counts non-negative and the busy count
+	// in lock-step with the in-service ledger (a skew means a completion
+	// fired twice or a crash withdrew a request without freeing a consumer).
+	inv.Register("service-pools", func() error {
+		for j, svc := range c.services {
+			if svc.available < 0 || svc.busy < 0 || svc.target < 0 {
+				return fmt.Errorf("service %d: negative pool state available=%d busy=%d target=%d",
+					j, svc.available, svc.busy, svc.target)
+			}
+			if svc.busy != len(svc.inService) {
+				return fmt.Errorf("service %d: busy=%d but %d requests in service",
+					j, svc.busy, len(svc.inService))
+			}
+			if svc.completions > svc.arrivals {
+				return fmt.Errorf("service %d: completions %d exceed arrivals %d",
+					j, svc.completions, svc.arrivals)
+			}
+		}
+		return nil
+	})
+	// The DAG caches the join-synchronisation countdown depends on must stay
+	// self-consistent (ensembles are shared, mutable pointers).
+	inv.Register("workflow-dags", func() error {
+		for _, wf := range c.cfg.Ensemble.Workflows {
+			if err := wf.CheckConsistency(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	// Active faults must sit inside their declared activation windows.
+	inv.Register("fault-windows", func() error {
+		if c.injector == nil {
+			return nil
+		}
+		return c.injector.CheckWindows(c.engine.Now())
+	})
+	c.inv = inv
+}
+
+// CheckInvariants evaluates every registered cluster invariant, reporting
+// violations through the invariant package (panic by default). It is a no-op
+// while invariant checking is disabled, so callers run it unconditionally at
+// window boundaries.
+func (c *Cluster) CheckInvariants() { c.inv.Run() }
 
 // Ensemble returns the workflow ensemble the cluster serves.
 func (c *Cluster) Ensemble() *workflow.Ensemble { return c.cfg.Ensemble }
@@ -283,6 +357,7 @@ func (c *Cluster) Submit(wf int) {
 		inst.remainingPreds[i] = len(wt.Predecessors(i))
 	}
 	c.inFlight++
+	c.submitted++
 	for _, root := range c.tds.InitialNodes(wf) {
 		c.enqueue(&taskRequest{inst: inst, node: root})
 	}
@@ -313,6 +388,10 @@ func (c *Cluster) dropRequest(j int, req *taskRequest) {
 	inst.failed = true
 	c.inFlight--
 	c.droppedInstances++
+	if invariant.Enabled() {
+		invariant.Checkf("cluster/conservation", c.inFlight >= 0,
+			"in-flight went negative (%d) dropping workflow %d", c.inFlight, inst.wf)
+	}
 	if ev := c.rec.Event("request_dropped"); ev != nil {
 		ev.T(c.engine.Now()).
 			Int("service", j).
@@ -367,6 +446,10 @@ func (c *Cluster) complete(j int, req *taskRequest) {
 	c.touchBusy(svc)
 	svc.busy--
 	svc.completions++
+	if invariant.Enabled() {
+		invariant.Checkf("cluster/service-pools", svc.busy >= 0,
+			"service %d busy count went negative (%d)", j, svc.busy)
+	}
 
 	inst := req.inst
 	if inst.failed {
@@ -377,14 +460,27 @@ func (c *Cluster) complete(j int, req *taskRequest) {
 	}
 	inst.nodesDone++
 	wt := c.cfg.Ensemble.Workflows[inst.wf]
+	if invariant.Enabled() {
+		// Join synchronisation: a node may finish at most once, so nodesDone
+		// is bounded by the DAG size and no predecessor countdown may cross
+		// zero (a negative count means a double-publish).
+		invariant.Checkf("workflow/join-sync", inst.nodesDone <= wt.NumNodes(),
+			"workflow %d instance finished %d nodes of %d", inst.wf, inst.nodesDone, wt.NumNodes())
+	}
 	for _, succ := range c.tds.SuccessorNodes(inst.wf, req.node) {
 		inst.remainingPreds[succ]--
+		if invariant.Enabled() {
+			invariant.Checkf("workflow/join-sync", inst.remainingPreds[succ] >= 0,
+				"workflow %d node %d predecessor count went negative (%d): double-published join",
+				inst.wf, succ, inst.remainingPreds[succ])
+		}
 		if inst.remainingPreds[succ] == 0 {
 			c.enqueue(&taskRequest{inst: inst, node: succ})
 		}
 	}
 	if inst.nodesDone == wt.NumNodes() {
 		c.inFlight--
+		c.completedInstances++
 		c.completions = append(c.completions, Completion{
 			Workflow:    inst.wf,
 			ArrivedAt:   inst.arrivedAt,
@@ -550,6 +646,18 @@ func (c *Cluster) Targets() []int {
 // InFlight returns the number of live (incomplete) workflow instances.
 func (c *Cluster) InFlight() int { return c.inFlight }
 
+// Submitted returns the lifetime count of workflow instances submitted.
+func (c *Cluster) Submitted() uint64 { return c.submitted }
+
+// CompletedInstances returns the lifetime count of workflow instances that
+// finished every DAG node.
+func (c *Cluster) CompletedInstances() uint64 { return c.completedInstances }
+
+// Abandoned returns the lifetime count of in-flight instances discarded by
+// Clear. Conservation reads:
+// submitted == completed + in-flight + dropped + abandoned.
+func (c *Cluster) Abandoned() uint64 { return c.abandoned }
+
 // AdvanceTo runs the emulation until virtual time t.
 func (c *Cluster) AdvanceTo(t sim.Time) { c.engine.RunUntil(t) }
 
@@ -604,6 +712,9 @@ func (c *Cluster) Snapshot() Counters {
 // to 0"). Consumer pools and cumulative counters are preserved.
 func (c *Cluster) Clear() {
 	c.generation++
+	// Instances discarded here are accounted as abandoned so the
+	// conservation invariant holds across resets.
+	c.abandoned += uint64(c.inFlight)
 	for _, svc := range c.services {
 		c.touchBusy(svc)
 		svc.queue = nil

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"miras/internal/faults"
+	"miras/internal/invariant"
+	"miras/internal/workflow"
+)
+
+// withInvariants enables invariant checking with a collecting handler for
+// the duration of the test, restoring the previous state afterwards.
+func withInvariants(t *testing.T) *[]invariant.Violation {
+	t.Helper()
+	var got []invariant.Violation
+	prev := invariant.SetHandler(func(v invariant.Violation) { got = append(got, v) })
+	wasOn := invariant.Enabled()
+	invariant.Enable(true)
+	t.Cleanup(func() {
+		invariant.SetHandler(prev)
+		invariant.Enable(wasOn)
+	})
+	return &got
+}
+
+// TestInvariantsHoldOnHealthyRun drives traffic, scaling, resets, and an
+// armed fault plan with every check live: a correct emulator must produce
+// zero violations.
+func TestInvariantsHoldOnHealthyRun(t *testing.T) {
+	got := withInvariants(t)
+	c, engine := newTestCluster(t, workflow.Toy(), 7, []int{2, 2})
+	plan := faults.Plan{Specs: []faults.Spec{
+		{Kind: faults.Crash, Service: 0, StartSec: 10, DurationSec: 200, MTTFSec: 30, MTTRSec: 5},
+		{Kind: faults.QueueDrop, Service: 1, StartSec: 50, DurationSec: 100, Factor: 0.3},
+	}}
+	if err := c.ScheduleFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		c.Submit(i % c.Ensemble().NumWorkflows())
+	}
+	for w := 0; w < 10; w++ {
+		engine.RunUntil(float64(w+1) * 30)
+		c.CheckInvariants()
+	}
+	c.Clear()
+	c.CheckInvariants()
+	if len(*got) != 0 {
+		t.Fatalf("healthy run reported violations: %v", *got)
+	}
+	// Conservation arithmetic is live even without faults firing a check.
+	want := c.CompletedInstances() + uint64(c.InFlight()) + c.Dropped() + c.Abandoned()
+	if c.Submitted() != want {
+		t.Fatalf("submitted %d, accounted %d", c.Submitted(), want)
+	}
+}
+
+// TestDeliberateConservationBugIsCaught injects the exact class of silent
+// bug the invariant layer exists for: a workflow instance leaks (the
+// in-flight count is decremented without a completion, as a miscoded drop or
+// double-complete would do). The conservation check must fire.
+func TestDeliberateConservationBugIsCaught(t *testing.T) {
+	got := withInvariants(t)
+	c, engine := newTestCluster(t, workflow.Toy(), 3, []int{2, 2})
+	for i := 0; i < 10; i++ {
+		c.Submit(0)
+	}
+	engine.RunUntil(50)
+	c.CheckInvariants()
+	if len(*got) != 0 {
+		t.Fatalf("violations before the injected bug: %v", *got)
+	}
+
+	c.inFlight-- // the bug: an instance vanishes without being accounted
+
+	c.CheckInvariants()
+	if len(*got) == 0 {
+		t.Fatal("deliberate conservation bug went undetected")
+	}
+	v := (*got)[0]
+	if v.Check != "cluster/conservation" {
+		t.Fatalf("violation %q, want cluster/conservation", v.Check)
+	}
+	if !strings.Contains(v.Detail, "submitted") {
+		t.Fatalf("violation detail %q lacks the conservation equation", v.Detail)
+	}
+}
+
+// TestDeliberatePoolSkewIsCaught corrupts the busy/in-service ledger the way
+// a lost completion callback would.
+func TestDeliberatePoolSkewIsCaught(t *testing.T) {
+	got := withInvariants(t)
+	c, engine := newTestCluster(t, workflow.Toy(), 4, []int{2, 2})
+	for i := 0; i < 5; i++ {
+		c.Submit(0)
+	}
+	engine.RunUntil(20)
+
+	c.services[0].busy += 2 // the bug: busy count drifts from the ledger
+
+	c.CheckInvariants()
+	found := false
+	for _, v := range *got {
+		if v.Check == "cluster/service-pools" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pool skew undetected; violations: %v", *got)
+	}
+}
+
+// TestDeliberateDAGCorruptionIsCaught mutates a shared workflow DAG after
+// construction — the join-synchronisation caches no longer match Edges.
+func TestDeliberateDAGCorruptionIsCaught(t *testing.T) {
+	got := withInvariants(t)
+	// A private ensemble copy: workflow.Toy() shares task tables but builds
+	// fresh Types, so mutating this DAG cannot leak into other tests.
+	ens := workflow.Toy()
+	c, _ := newTestCluster(t, ens, 5, []int{1, 1})
+
+	wf := ens.Workflows[0]
+	wf.Edges[len(wf.Edges)-1] = append(wf.Edges[len(wf.Edges)-1], 0) // the bug: a phantom back-edge
+
+	c.CheckInvariants()
+	found := false
+	for _, v := range *got {
+		if v.Check == "cluster/workflow-dags" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DAG corruption undetected; violations: %v", *got)
+	}
+}
+
+// TestNegativeBusyInlineCheckFires exercises the inline hot-path assertion
+// in complete() rather than the window-boundary set.
+func TestNegativeBusyInlineCheckFires(t *testing.T) {
+	got := withInvariants(t)
+	c, engine := newTestCluster(t, workflow.Toy(), 6, []int{1, 1})
+	c.Submit(0)
+
+	c.services[0].busy = 0 // the bug: consumer freed twice
+	// Force the pending completion to decrement busy below zero.
+	for engine.Step() {
+		if len(*got) > 0 {
+			break
+		}
+	}
+	found := false
+	for _, v := range *got {
+		if v.Check == "cluster/service-pools" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("negative busy undetected; violations: %v", *got)
+	}
+}

@@ -17,8 +17,10 @@ package env
 
 import (
 	"fmt"
+	"math"
 
 	"miras/internal/cluster"
+	"miras/internal/invariant"
 	"miras/internal/mat"
 	"miras/internal/obs"
 	"miras/internal/workload"
@@ -128,6 +130,7 @@ type Env struct {
 	window     int
 	lastSnap   cluster.Counters
 	violations int
+	inv        *invariant.Set
 }
 
 // New validates cfg and returns an Env.
@@ -141,10 +144,48 @@ func New(cfg Config) (*Env, error) {
 	if cfg.WindowSec == 0 {
 		cfg.WindowSec = DefaultWindowSec
 	}
-	if cfg.WindowSec <= 0 {
+	if !(cfg.WindowSec > 0) { // rejects non-positive and NaN
 		return nil, fmt.Errorf("env: WindowSec must be positive, got %g", cfg.WindowSec)
 	}
-	return &Env{cfg: cfg, lastSnap: cfg.Cluster.Snapshot()}, nil
+	e := &Env{cfg: cfg, lastSnap: cfg.Cluster.Snapshot()}
+	e.registerInvariants()
+	return e, nil
+}
+
+// registerInvariants declares the environment-level runtime invariants; Step
+// evaluates them (plus the cluster's set) at every window boundary when
+// invariant checking is enabled.
+func (e *Env) registerInvariants() {
+	inv := invariant.NewSet("env")
+	// The observation must be well-formed: correct arity, and every WIP
+	// entry a finite non-negative count. NaN here would poison the replay
+	// buffer and every model fitted from it.
+	inv.Register("state-valid", func() error {
+		state := e.observe(e.cfg.Cluster.WIP())
+		if len(state) != e.StateDim() {
+			return fmt.Errorf("state has %d entries, want StateDim %d", len(state), e.StateDim())
+		}
+		for i, v := range state {
+			if math.IsNaN(v) || math.IsInf(v, 0) || (i < e.ActionDim() && v < 0) {
+				return fmt.Errorf("state[%d] = %g is not a valid observation", i, v)
+			}
+		}
+		return nil
+	})
+	// The actuated allocation can never exceed the consumer budget: Step
+	// validates every action, so a violation means something scaled the
+	// cluster behind the environment's back.
+	inv.Register("budget", func() error {
+		total := 0
+		for _, m := range e.cfg.Cluster.Targets() {
+			total += m
+		}
+		if total > e.cfg.Budget {
+			return fmt.Errorf("allocated %d consumers exceeds budget %d", total, e.cfg.Budget)
+		}
+		return nil
+	})
+	e.inv = inv
 }
 
 // StateDim returns the observation width: J (the number of microservices)
@@ -238,6 +279,12 @@ func (e *Env) Step(m []int) (StepResult, error) {
 	start := c.Now()
 	c.AdvanceTo(start + e.cfg.WindowSec)
 	e.window++
+
+	// Window boundaries are the natural verification checkpoint: the engine
+	// is quiescent and every counter is settled. Both Run calls are no-ops
+	// unless invariant checking is enabled.
+	c.CheckInvariants()
+	e.inv.Run()
 
 	snap := c.Snapshot()
 	wip := c.WIP()

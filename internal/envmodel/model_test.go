@@ -161,6 +161,9 @@ func TestNewModelValidation(t *testing.T) {
 }
 
 func TestModelFitReducesLossAndPredicts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dynamics-model fit; skipped in -short mode")
+	}
 	d := linearDynamics(2000, 3, 4)
 	rng := rand.New(rand.NewSource(5))
 	train, test := d.Split(0.1, rng)

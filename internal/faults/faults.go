@@ -18,6 +18,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 )
 
 // Kind names a fault mechanism.
@@ -74,6 +75,23 @@ type Spec struct {
 
 // Validate checks the spec against a cluster with numServices microservices.
 func (s Spec) Validate(numServices int) error {
+	// NaN slips through every ordered comparison below (NaN < 0 is false),
+	// and a NaN mean or factor would silently corrupt the event heap, so
+	// every float field must be finite before the range checks mean anything.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"start_sec", s.StartSec},
+		{"duration_sec", s.DurationSec},
+		{"factor", s.Factor},
+		{"mttf_sec", s.MTTFSec},
+		{"mttr_sec", s.MTTRSec},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("faults: %s must be finite, got %g", f.name, f.v)
+		}
+	}
 	if s.Service != AllServices && (s.Service < 0 || s.Service >= numServices) {
 		return fmt.Errorf("faults: service %d out of range [0, %d) (or -1 for all)",
 			s.Service, numServices)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"miras/internal/invariant"
 	"miras/internal/obs"
 	"miras/internal/sim"
 )
@@ -119,6 +120,26 @@ func (in *Injector) Injected() uint64 { return in.injected }
 // Crashes returns the number of consumers killed so far.
 func (in *Injector) Crashes() uint64 { return in.crashes }
 
+// CheckWindows verifies every live fault sits inside its declared activation
+// window at virtual time now: it became active no later than now and, for
+// bounded faults, its end has not passed. A violation means an episode-end
+// event was lost or fired out of order — the injector would then keep
+// degrading the cluster beyond the plan, silently corrupting every
+// downstream reward. The cluster registers this with its invariant set.
+func (in *Injector) CheckWindows(now float64) error {
+	for _, f := range in.active {
+		if f.SinceSec > now {
+			return fmt.Errorf("fault %d (%s) active at %g before its start %g",
+				f.ID, f.Kind, now, f.SinceSec)
+		}
+		if f.UntilSec != 0 && now > f.UntilSec {
+			return fmt.Errorf("fault %d (%s) still active at %g past its end %g",
+				f.ID, f.Kind, now, f.UntilSec)
+		}
+	}
+	return nil
+}
+
 // Active returns the currently live faults, ordered by arming sequence.
 func (in *Injector) Active() []ActiveFault {
 	out := make([]ActiveFault, 0, len(in.active))
@@ -151,6 +172,10 @@ func (in *Injector) armCrash(id int, sp Spec) {
 
 	var fire func()
 	fire = func() {
+		if invariant.Enabled() {
+			invariant.Checkf("faults/activation-window", in.engine.Now() <= end,
+				"crash process %d fired at %g past its episode end %g", id, in.engine.Now(), end)
+		}
 		j := sp.Service
 		if j == AllServices {
 			j = rng.Intn(in.target.NumServices())

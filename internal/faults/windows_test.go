@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckWindowsHealthy walks a bounded slowdown episode through its
+// lifetime: before activation and after deactivation nothing is live, and
+// inside the window the active fault passes its own bounds check.
+func TestCheckWindowsHealthy(t *testing.T) {
+	in, engine, _ := newTestInjector(t, 1, 2)
+	plan := Plan{Specs: []Spec{
+		{Kind: Slowdown, Service: 0, StartSec: 10, DurationSec: 20, Factor: 3},
+	}}
+	if err := in.Schedule(plan); err != nil {
+		t.Fatal(err)
+	}
+	for _, now := range []float64{0, 15, 30, 100} {
+		engine.RunUntil(now)
+		if err := in.CheckWindows(engine.Now()); err != nil {
+			t.Fatalf("at t=%g: %v", now, err)
+		}
+	}
+	if n := len(in.Active()); n != 0 {
+		t.Fatalf("%d faults still active after their windows", n)
+	}
+}
+
+// TestCheckWindowsCatchesLostEnd simulates the failure mode the check
+// exists for: an episode whose end event was lost, leaving the fault live
+// past its declared window.
+func TestCheckWindowsCatchesLostEnd(t *testing.T) {
+	in, engine, _ := newTestInjector(t, 2, 2)
+	if err := in.Schedule(Plan{Specs: []Spec{
+		{Kind: QueueDrop, Service: 1, StartSec: 5, DurationSec: 10, Factor: 0.5},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(7) // inside [5, 15): the fault is live
+	if len(in.Active()) != 1 {
+		t.Fatalf("expected one active fault, got %v", in.Active())
+	}
+	if err := in.CheckWindows(engine.Now()); err != nil {
+		t.Fatalf("in-window: %v", err)
+	}
+
+	// The bug: querying far past the declared end while the fault is still
+	// recorded as active (as if the end event never fired).
+	err := in.CheckWindows(100)
+	if err == nil {
+		t.Fatal("fault live past its end went undetected")
+	}
+	if !strings.Contains(err.Error(), "past its end") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCheckWindowsOpenEnded confirms open-ended faults (UntilSec == 0)
+// never trip the end-bound check.
+func TestCheckWindowsOpenEnded(t *testing.T) {
+	in, engine, _ := newTestInjector(t, 3, 1)
+	if err := in.Schedule(Plan{Specs: []Spec{
+		{Kind: Crash, Service: 0, StartSec: 0, MTTFSec: 1e9},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(1)
+	if len(in.Active()) != 1 {
+		t.Fatalf("expected one active fault, got %v", in.Active())
+	}
+	if err := in.CheckWindows(1e12); err != nil {
+		t.Fatalf("open-ended fault flagged: %v", err)
+	}
+}

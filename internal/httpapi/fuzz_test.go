@@ -1,0 +1,69 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzHTTPCreateSession throws arbitrary bodies at POST /v1/sessions — the
+// server's main untrusted input surface (it reaches the workflow, cluster,
+// env, and faults constructors). The handler must never panic, and every
+// response must honour the API contract: 201 with a usable SessionInfo, or
+// 4xx with the uniform {"error":{"code","message"}} envelope.
+func FuzzHTTPCreateSession(f *testing.F) {
+	f.Add(`{"ensemble":"toy","budget":4}`)
+	f.Add(`{"ensemble":"msd","budget":14,"window_sec":30,"seed":7}`)
+	f.Add(`{"ensemble":"ligo","budget":30,"failure_aware":true}`)
+	f.Add(`{"ensemble":"toy","budget":4,"rates":[0.1,0.2]}`)
+	f.Add(`{"ensemble":"toy","budget":4,"faults":{"specs":[{"kind":"crash","service":0,"mttf_sec":10}]}}`)
+	f.Add(`{"ensemble":"toy","budget":4,"faults":{"specs":[{"kind":"slowdown","service":0,"factor":1e999}]}}`)
+	f.Add(`{"ensemble":"nope","budget":1}`)
+	f.Add(`{"ensemble":"toy","budget":-3}`)
+	f.Add(`{"ensemble":"toy","budget":4,"window_sec":-1}`)
+	f.Add(`{"ensemble":"toy","budget":4,"rates":[-0.5]}`)
+	f.Add(`{broken`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		// A fresh server per input keeps iterations independent (no session
+		// accumulation hitting the limit and masking later branches).
+		srv := NewServer(WithMaxSessions(2))
+		h := srv.Handler()
+
+		req := httptest.NewRequest("POST", "/v1/sessions", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, req)
+
+		switch {
+		case rr.Code == http.StatusCreated:
+			var info SessionInfo
+			if err := json.Unmarshal(rr.Body.Bytes(), &info); err != nil {
+				t.Fatalf("201 body is not SessionInfo: %v\nbody: %q", err, rr.Body.Bytes())
+			}
+			if info.ID == "" || info.StateDim <= 0 || info.ActionDim <= 0 {
+				t.Fatalf("201 with unusable session info: %+v", info)
+			}
+			// The created session must actually be reachable.
+			get := httptest.NewRequest("GET", "/v1/sessions/"+info.ID, nil)
+			rr2 := httptest.NewRecorder()
+			h.ServeHTTP(rr2, get)
+			if rr2.Code != http.StatusOK {
+				t.Fatalf("created session %q not retrievable: %d %s", info.ID, rr2.Code, rr2.Body.Bytes())
+			}
+		case rr.Code >= 400 && rr.Code < 500:
+			var env ErrorEnvelope
+			if err := json.Unmarshal(rr.Body.Bytes(), &env); err != nil {
+				t.Fatalf("%d body is not the error envelope: %v\nbody: %q", rr.Code, err, rr.Body.Bytes())
+			}
+			if env.Error.Code == "" || env.Error.Message == "" {
+				t.Fatalf("%d error envelope missing code or message: %q", rr.Code, rr.Body.Bytes())
+			}
+		default:
+			t.Fatalf("create returned %d (want 201 or 4xx): %q", rr.Code, rr.Body.Bytes())
+		}
+	})
+}

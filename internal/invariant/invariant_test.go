@@ -1,0 +1,130 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+// capture installs a collecting handler for the duration of the test and
+// makes sure the prior handler and enable state are restored.
+func capture(t *testing.T) *[]Violation {
+	t.Helper()
+	var got []Violation
+	prev := SetHandler(func(v Violation) { got = append(got, v) })
+	wasOn := Enabled()
+	t.Cleanup(func() {
+		SetHandler(prev)
+		Enable(wasOn)
+	})
+	return &got
+}
+
+func TestCheckfReportsOnlyFailures(t *testing.T) {
+	got := capture(t)
+	Checkf("test/ok", true, "should not fire")
+	if len(*got) != 0 {
+		t.Fatalf("passing check reported %v", *got)
+	}
+	Checkf("test/bad", false, "value %d out of range", 7)
+	if len(*got) != 1 {
+		t.Fatalf("violations=%d, want 1", len(*got))
+	}
+	v := (*got)[0]
+	if v.Check != "test/bad" || v.Detail != "value 7 out of range" {
+		t.Fatalf("unexpected violation %+v", v)
+	}
+	if !strings.Contains(v.Error(), "invariant violated: test/bad") {
+		t.Fatalf("Error() = %q", v.Error())
+	}
+}
+
+func TestDefaultHandlerPanics(t *testing.T) {
+	prev := SetHandler(nil)
+	defer SetHandler(prev)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from default handler")
+		}
+		if !strings.Contains(r.(string), "test/panic") {
+			t.Fatalf("panic message %v missing check name", r)
+		}
+	}()
+	Fail("test/panic", "boom")
+}
+
+func TestViolationCounterAdvances(t *testing.T) {
+	capture(t)
+	before := Violations()
+	Fail("test/count", "x")
+	Fail("test/count", "y")
+	if got := Violations() - before; got != 2 {
+		t.Fatalf("counter advanced by %d, want 2", got)
+	}
+}
+
+func TestSetRunGatedByEnable(t *testing.T) {
+	got := capture(t)
+	s := NewSet("unit")
+	calls := 0
+	s.Register("always-bad", func() error {
+		calls++
+		return Violation{Check: "x", Detail: "broken"}
+	})
+	if s.Len() != 1 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+
+	Enable(false)
+	s.Run()
+	if calls != 0 || len(*got) != 0 {
+		t.Fatal("disabled set still ran checks")
+	}
+
+	Enable(true)
+	s.Run()
+	if calls != 1 || len(*got) != 1 {
+		t.Fatalf("enabled set: calls=%d violations=%d, want 1/1", calls, len(*got))
+	}
+	if (*got)[0].Check != "unit/always-bad" {
+		t.Fatalf("check name %q, want owner-prefixed", (*got)[0].Check)
+	}
+}
+
+func TestNilSetIsNoOp(t *testing.T) {
+	capture(t)
+	Enable(true)
+	var s *Set
+	s.Run() // must not panic
+	if s.Len() != 0 {
+		t.Fatal("nil set has non-zero length")
+	}
+}
+
+func TestDigestOrderAndBitSensitivity(t *testing.T) {
+	a := NewDigest().Floats([]float64{1, 2}).Int(3).String("x").Sum()
+	b := NewDigest().Floats([]float64{1, 2}).Int(3).String("x").Sum()
+	if a != b {
+		t.Fatal("identical inputs digest differently")
+	}
+	if NewDigest().Floats([]float64{2, 1}).Sum() == NewDigest().Floats([]float64{1, 2}).Sum() {
+		t.Fatal("digest is order-insensitive")
+	}
+	// Bit-identity: +0 and -0 must digest differently.
+	if NewDigest().Float64(0).Sum() == NewDigest().Float64(negZero()).Sum() {
+		t.Fatal("digest conflates +0 and -0")
+	}
+	// Length-prefixing: [] then [1] must differ from [1] then [].
+	if NewDigest().Floats(nil).Floats([]float64{1}).Sum() ==
+		NewDigest().Floats([]float64{1}).Floats(nil).Sum() {
+		t.Fatal("digest is not length-prefixed")
+	}
+	if NewDigest().Ints([]int{5}).Sum() == NewDigest().Ints([]int{6}).Sum() {
+		t.Fatal("int digest insensitive")
+	}
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}

@@ -48,6 +48,9 @@ func TestAdamLearnsLinearFunction(t *testing.T) {
 
 // TestAdamLearnsNonlinearFunction: fit y = sin(3x) on [−1, 1].
 func TestAdamLearnsNonlinearFunction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full nonlinear-regression convergence run; skipped in -short mode")
+	}
 	rng := rand.New(rand.NewSource(22))
 	net := NewNetwork(Config{Sizes: []int{1, 32, 32, 1}, Hidden: Tanh{}, AuxLayer: -1}, rng)
 	var xs, ys [][]float64

@@ -245,6 +245,9 @@ func (e *toyEnv) ActionDim() int { return 2 }
 // most of the share to the loaded dimension and achieve clearly better
 // return than the uniform policy.
 func TestDDPGLearnsToyAllocation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full DDPG convergence run; skipped in -short mode")
+	}
 	envRng := rand.New(rand.NewSource(8))
 	te := &toyEnv{rng: envRng}
 	d, err := NewDDPG(Config{

@@ -13,6 +13,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"miras/internal/invariant"
 )
 
 // Time is virtual time in seconds since the start of the simulation.
@@ -99,6 +101,9 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 // ScheduleAt registers fn to run at absolute virtual time t, which must not
 // be in the past.
 func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t != t {
+		panic("sim: schedule at NaN")
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %g before now %g", t, e.now))
 	}
@@ -129,6 +134,10 @@ func (e *Engine) Step() bool {
 		if ev.cancelled {
 			continue
 		}
+		if invariant.Enabled() && ev.at < e.now {
+			invariant.Fail("sim/monotonic-time",
+				"event scheduled at %g fired with clock already at %g", ev.at, e.now)
+		}
 		e.now = ev.at
 		ev.fn()
 		return true
@@ -153,6 +162,10 @@ func (e *Engine) RunUntil(t Time) {
 			break
 		}
 		heap.Pop(&e.events)
+		if invariant.Enabled() && next.at < e.now {
+			invariant.Fail("sim/monotonic-time",
+				"event scheduled at %g fired with clock already at %g", next.at, e.now)
+		}
 		e.now = next.at
 		next.fn()
 	}

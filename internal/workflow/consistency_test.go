@@ -1,0 +1,61 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckConsistencyHoldsForBuiltins(t *testing.T) {
+	for _, ens := range []*Ensemble{NewMSD(), NewLIGO(), Toy()} {
+		for _, wf := range ens.Workflows {
+			if err := wf.CheckConsistency(); err != nil {
+				t.Fatalf("%s/%s: %v", ens.Name, wf.Name, err)
+			}
+		}
+	}
+}
+
+func TestCheckConsistencyDetectsCorruption(t *testing.T) {
+	fresh := func() *Type {
+		// Diamond: 0 → {1,2} → 3.
+		return MustType("diamond",
+			[]Node{{Task: 0}, {Task: 0}, {Task: 0}, {Task: 0}},
+			[][]int{{1, 2}, {3}, {3}, {}})
+	}
+
+	t.Run("phantom edge", func(t *testing.T) {
+		wf := fresh()
+		wf.Edges[3] = append(wf.Edges[3], 1) // preds/order no longer match
+		err := wf.CheckConsistency()
+		if err == nil {
+			t.Fatal("corruption undetected")
+		}
+		if !strings.Contains(err.Error(), "diamond") {
+			t.Fatalf("error %q does not name the workflow", err)
+		}
+	})
+
+	t.Run("mangled predecessor list", func(t *testing.T) {
+		wf := fresh()
+		wf.preds[3] = wf.preds[3][:1] // join count for node 3 now wrong
+		if wf.CheckConsistency() == nil {
+			t.Fatal("corruption undetected")
+		}
+	})
+
+	t.Run("shuffled topo order", func(t *testing.T) {
+		wf := fresh()
+		wf.order[0], wf.order[len(wf.order)-1] = wf.order[len(wf.order)-1], wf.order[0]
+		if wf.CheckConsistency() == nil {
+			t.Fatal("corruption undetected")
+		}
+	})
+
+	t.Run("bogus root", func(t *testing.T) {
+		wf := fresh()
+		wf.roots = append(wf.roots, 3)
+		if wf.CheckConsistency() == nil {
+			t.Fatal("corruption undetected")
+		}
+	})
+}

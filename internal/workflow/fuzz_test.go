@@ -1,0 +1,57 @@
+package workflow
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWorkflowJSON hammers the ensemble JSON codec — the one external input
+// surface of this package (custom ensemble files, the HTTP API). Decoding
+// must never panic; a successful decode must yield an internally consistent
+// ensemble that round-trips to stable bytes.
+func FuzzWorkflowJSON(f *testing.F) {
+	for _, ens := range []*Ensemble{Toy(), NewMSD(), NewLIGO()} {
+		data, err := json.Marshal(ens)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","tasks":[{"name":"a","mean_service_sec":1}],"workflows":[{"name":"w","nodes":["a"],"edges":[[]]}]}`))
+	f.Add([]byte(`{"name":"x","tasks":[{"name":"a","mean_service_sec":1}],"workflows":[{"name":"w","nodes":["a"],"edges":[[0]]}]}`))
+	f.Add([]byte(`{"name":"x","tasks":[{"name":"a","mean_service_sec":-1}],"workflows":[]}`))
+	f.Add([]byte(`{"name":"x","tasks":[{"name":"a","mean_service_sec":1}],"workflows":[{"name":"w","nodes":["b"],"edges":[[]]}]}`))
+	f.Add([]byte(`{"name":"c","tasks":[{"name":"a","mean_service_sec":1},{"name":"b","mean_service_sec":2}],"workflows":[{"name":"w","nodes":["a","b"],"edges":[[1],[0]]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e Ensemble
+		if err := json.Unmarshal(data, &e); err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("decoded ensemble fails validation: %v\ninput: %q", err, data)
+		}
+		for _, wf := range e.Workflows {
+			if err := wf.CheckConsistency(); err != nil {
+				t.Fatalf("decoded workflow inconsistent: %v\ninput: %q", err, data)
+			}
+		}
+		out, err := json.Marshal(&e)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v\ninput: %q", err, data)
+		}
+		var e2 Ensemble
+		if err := json.Unmarshal(out, &e2); err != nil {
+			t.Fatalf("round-trip decode failed: %v\nencoded: %q", err, out)
+		}
+		out2, err := json.Marshal(&e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round-trip unstable:\nfirst:  %q\nsecond: %q", out, out2)
+		}
+	})
+}

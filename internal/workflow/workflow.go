@@ -120,6 +120,79 @@ func MustType(name string, nodes []Node, edges [][]int) *Type {
 	return t
 }
 
+// CheckConsistency re-verifies the invariants NewType established: the
+// predecessor lists mirror Edges exactly, the roots are precisely the
+// zero-indegree nodes, and the cached topological order is a valid ordering
+// covering every node. It exists for the runtime-invariant layer
+// (internal/invariant): the emulated cluster's join synchronisation counts
+// down Predecessors, so silent corruption of these caches would deadlock or
+// double-publish DAG nodes without failing any existing test.
+func (t *Type) CheckConsistency() error {
+	n := len(t.Nodes)
+	if len(t.Edges) != n || len(t.preds) != n {
+		return fmt.Errorf("workflow %q: %d nodes, %d edge lists, %d pred lists",
+			t.Name, n, len(t.Edges), len(t.preds))
+	}
+	// Rebuild indegrees from Edges and mirror-check preds.
+	indeg := make([]int, n)
+	for from, succs := range t.Edges {
+		for _, to := range succs {
+			if to < 0 || to >= n {
+				return fmt.Errorf("workflow %q: edge %d→%d out of range", t.Name, from, to)
+			}
+			indeg[to]++
+			found := false
+			for _, p := range t.preds[to] {
+				if p == from {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("workflow %q: edge %d→%d missing from predecessor list", t.Name, from, to)
+			}
+		}
+	}
+	for i, preds := range t.preds {
+		if len(preds) != indeg[i] {
+			return fmt.Errorf("workflow %q: node %d has %d predecessors, indegree %d",
+				t.Name, i, len(preds), indeg[i])
+		}
+	}
+	// Roots are exactly the zero-indegree nodes.
+	rootSet := make(map[int]bool, len(t.roots))
+	for _, r := range t.roots {
+		rootSet[r] = true
+	}
+	for i, d := range indeg {
+		if (d == 0) != rootSet[i] {
+			return fmt.Errorf("workflow %q: node %d indegree %d but root=%v",
+				t.Name, i, d, rootSet[i])
+		}
+	}
+	// The cached order is a permutation respecting every edge.
+	if len(t.order) != n {
+		return fmt.Errorf("workflow %q: topo order covers %d of %d nodes", t.Name, len(t.order), n)
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for i, node := range t.order {
+		if node < 0 || node >= n || seen[node] {
+			return fmt.Errorf("workflow %q: topo order is not a permutation", t.Name)
+		}
+		seen[node] = true
+		pos[node] = i
+	}
+	for from, succs := range t.Edges {
+		for _, to := range succs {
+			if pos[from] >= pos[to] {
+				return fmt.Errorf("workflow %q: topo order places %d after successor %d", t.Name, from, to)
+			}
+		}
+	}
+	return nil
+}
+
 // Roots returns the indices of nodes with no predecessors — the tasks the
 // workflow invoker submits first.
 func (t *Type) Roots() []int { return t.roots }

@@ -7,6 +7,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# The demo doubles as an invariant gate: every runtime check in the stack
+# runs live, and a violation panics the run.
+export MIRAS_INVARIANTS=1
+
 WORK="$(mktemp -d)"
 cleanup() { rm -rf "$WORK"; }
 trap cleanup EXIT

@@ -6,6 +6,10 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# The demo doubles as an invariant gate: every runtime check in the stack
+# runs live, and a violation panics the run.
+export MIRAS_INVARIANTS=1
+
 ADDR="${OBS_DEMO_ADDR:-127.0.0.1:18080}"
 BIN="$(mktemp -d)/miras-server"
 
