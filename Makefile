@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench fmt fuzz-smoke obs-demo chaos-demo golden-demo
+.PHONY: build test vet race check bench fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo
 
 build:
 	$(GO) build ./...
@@ -30,14 +30,17 @@ bench:
 fmt:
 	gofmt -l -w .
 
-# Short fuzz runs over the three untrusted input surfaces (workflow JSON,
-# fault plans, HTTP session creation). Go allows one -fuzz pattern per
-# invocation, hence three runs; each extends the committed seed corpus in
-# the package's testdata/fuzz/ only in the local build cache.
+# Short fuzz runs over the untrusted input surfaces (workflow JSON, fault
+# plans, HTTP session creation, serialized networks and policy snapshots).
+# Go allows one -fuzz pattern per invocation, hence one run each; each
+# extends the committed seed corpus in the package's testdata/fuzz/ only in
+# the local build cache.
 fuzz-smoke:
 	$(GO) test ./internal/workflow/ -fuzz FuzzWorkflowJSON -fuzztime 10s
 	$(GO) test ./internal/faults/ -fuzz FuzzFaultPlanValidate -fuzztime 10s
 	$(GO) test ./internal/httpapi/ -fuzz FuzzHTTPCreateSession -fuzztime 10s
+	$(GO) test ./internal/nn/ -fuzz FuzzNetworkDecode -fuzztime 10s
+	$(GO) test ./internal/rl/ -fuzz FuzzPolicySnapshotDecode -fuzztime 10s
 
 # Smoke-test the observability surface: start miras-server, scrape
 # /metrics, and fail unless it serves non-empty Prometheus output.
@@ -54,3 +57,9 @@ chaos-demo:
 # scripts/testdata/golden_demo.sha256. Refresh with scripts/golden_demo.sh --update.
 golden-demo:
 	./scripts/golden_demo.sh
+
+# Crash-safety gate: train, SIGTERM mid-run after a checkpoint lands, resume
+# from the checkpoint directory, and fail unless the stitched-together run's
+# CSVs are byte-identical to an uninterrupted run's (invariants live).
+resume-demo:
+	./scripts/resume_demo.sh

@@ -45,9 +45,17 @@ func run() error {
 	maxSessions := flag.Int("max-sessions", 64, "maximum concurrent sessions")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second,
 		"grace period for draining requests on SIGINT/SIGTERM")
+	maxBodyBytes := flag.Int64("max-body-bytes", 64<<20,
+		"request body size cap; oversized bodies get 413 body_too_large (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second,
+		"per-request API deadline; slower requests get 408 request_timeout (0 disables)")
 	flag.Parse()
 
-	srv := httpapi.NewServer(httpapi.WithMaxSessions(*maxSessions))
+	srv := httpapi.NewServer(
+		httpapi.WithMaxSessions(*maxSessions),
+		httpapi.WithMaxBodyBytes(*maxBodyBytes),
+		httpapi.WithRequestTimeout(*requestTimeout),
+	)
 	obs.RegisterProcessMetrics(srv.Registry())
 
 	mux := http.NewServeMux()

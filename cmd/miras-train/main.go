@@ -5,14 +5,24 @@
 // Usage:
 //
 //	miras-train -ensemble msd -scale quick -out results/ -save-policy policy.json
+//
+// With -checkpoint-dir the full training state is checkpointed after every
+// outer iteration, and SIGINT/SIGTERM stops cleanly at the next iteration
+// boundary (exit 0, no CSVs). Re-running with -resume continues from the
+// newest checkpoint and reproduces the uninterrupted run bit for bit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"miras/internal/core"
 	"miras/internal/experiments"
 	"miras/internal/obs"
 )
@@ -33,14 +43,24 @@ func run() error {
 	traceOut := flag.String("trace-out", "", "optional JSONL trace file for structured training telemetry")
 	logLevel := flag.String("log-level", "info", "trace verbosity: debug or info (debug adds per-epoch and per-update events)")
 	selfCheck := flag.Bool("selfcheck", false, "run the determinism self-check (two identically seeded short runs must produce identical digests) and exit")
+	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-iteration training checkpoints (empty disables)")
+	checkpointKeep := flag.Int("checkpoint-keep", 0, "checkpoint files to retain (0 keeps the store default)")
+	resume := flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir")
+	iterations := flag.Int("iterations", 0, "override the preset's outer iteration count (0 keeps the preset)")
 	flag.Parse()
 
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
 	s, err := setup(*ensemble, *scale)
 	if err != nil {
 		return err
 	}
 	if *seed != 0 {
 		s.Seed = *seed
+	}
+	if *iterations != 0 {
+		s.Iterations = *iterations
 	}
 	if *selfCheck {
 		res, err := experiments.SelfCheck(s, 0)
@@ -59,7 +79,30 @@ func run() error {
 	fmt.Printf("Fig. 6 MIRAS training: ensemble=%s scale=%s (%d iterations × %d real steps)\n",
 		s.EnsembleName, *scale, s.Iterations, s.StepsPerIteration)
 
-	res, err := experiments.TrainingTrace(s)
+	// A signal stops training cleanly at the next iteration boundary,
+	// after that iteration's checkpoint has been written.
+	ctx, cancelSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancelSignals()
+	opts := experiments.TrainOptions{
+		CheckpointDir: *checkpointDir,
+		Keep:          *checkpointKeep,
+		Resume:        *resume,
+		Stop: func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		},
+	}
+	res, err := experiments.TrainingTraceOpts(s, opts)
+	if errors.Is(err, core.ErrStopped) {
+		fmt.Printf("training interrupted; state checkpointed in %s — rerun with -resume to continue\n",
+			*checkpointDir)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,7 @@ import (
 	"miras/internal/nn"
 	"miras/internal/obs"
 	"miras/internal/rl"
+	"miras/internal/sim"
 )
 
 // Config parameterises a MIRAS agent. Paper values (§VI-A3): MSD uses
@@ -97,6 +98,24 @@ type Config struct {
 	// debug events per model epoch and per DDPG minibatch update in the
 	// components it is wired into. Nil disables telemetry at zero cost.
 	Recorder *obs.Recorder
+	// CheckpointFn, when non-nil, runs at the end of every outer iteration
+	// with a freshly captured TrainState. Returning an error aborts
+	// training. The state shares the live dataset, so implementations must
+	// serialize it before returning (the checkpoint store does).
+	CheckpointFn func(iter int, st *TrainState) error
+	// StopFn, when non-nil, is polled at the top of every outer iteration;
+	// returning true makes Train stop cleanly with ErrStopped. Combined
+	// with CheckpointFn this turns SIGTERM into "finish the iteration,
+	// write a final checkpoint, exit".
+	StopFn func() bool
+	// MaxAbsQ bounds the critic's mean minibatch Q value in the divergence
+	// guard: |Q| beyond it counts as divergence and triggers a rollback to
+	// the last healthy iteration (default 1e6; negative disables the
+	// bound; NaN/Inf weights are always caught).
+	MaxAbsQ float64
+	// Metrics, when non-nil, receives the self-healing counters
+	// miras_controller_rollback_total.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +155,12 @@ func (c Config) withDefaults() Config {
 	if c.RefinePercentile == 0 {
 		c.RefinePercentile = envmodel.DefaultPercentile
 	}
+	if c.MaxAbsQ == 0 {
+		c.MaxAbsQ = 1e6
+	}
+	if c.MaxAbsQ < 0 {
+		c.MaxAbsQ = 0
+	}
 	return c
 }
 
@@ -157,6 +182,9 @@ type IterationStats struct {
 	EvalReturn float64
 	// NoiseSigma is the parameter-noise σ after the iteration.
 	NoiseSigma float64
+	// RolledBack is true when the divergence guard fired this iteration and
+	// the learner was restored from the last healthy iteration.
+	RolledBack bool
 }
 
 // Agent is the MIRAS model-based RL agent.
@@ -166,6 +194,19 @@ type Agent struct {
 	model   *envmodel.Model
 	ddpg    *rl.DDPG
 	rng     *rand.Rand
+	// src is rng's underlying source; its position is captured in
+	// checkpoints so resumed runs draw the same sequence.
+	src *sim.SplitMix
+
+	// envLog records every real-environment reset and step so a resumed
+	// run can replay them against a freshly built environment, advancing
+	// its internal event streams to the exact positions of the
+	// interrupted run.
+	envLog []EnvOp
+	// resume, when non-nil, holds state restored by RestoreTraining that
+	// the next Train call consumes to continue mid-run.
+	resume    *resumeInfo
+	rollbacks int
 
 	trained bool
 }
@@ -218,12 +259,14 @@ func newAgent(cfg Config) (*Agent, error) {
 	}
 	model.SetRecorder(cfg.Recorder, "model")
 	ddpg.SetRecorder(cfg.Recorder)
+	src := sim.NewSplitMix(uint64(cfg.Seed + 3))
 	return &Agent{
 		cfg:     cfg,
 		dataset: envmodel.NewDataset(j, ad),
 		model:   model,
 		ddpg:    ddpg,
-		rng:     rand.New(rand.NewSource(cfg.Seed + 3)),
+		rng:     rand.New(src),
+		src:     src,
 	}, nil
 }
 
@@ -253,6 +296,7 @@ func (a *Agent) CollectReal(steps int, random bool) error {
 				state = e.State()
 			}
 			a.ddpg.BeginEpisode()
+			a.envLog = append(a.envLog, EnvOp{Kind: opResetCollect})
 		}
 		var simplex []float64
 		if random {
@@ -266,6 +310,7 @@ func (a *Agent) CollectReal(steps int, random bool) error {
 		if err != nil {
 			return fmt.Errorf("core: collection step %d: %w", i, err)
 		}
+		a.envLog = append(a.envLog, EnvOp{Kind: opStep, Alloc: m})
 		a.dataset.Add(state, frac, res.State)
 		state = res.State
 	}
@@ -362,6 +407,7 @@ func (a *Agent) Evaluate() (float64, error) {
 		a.cfg.EvalHook()
 		state = e.State()
 	}
+	a.envLog = append(a.envLog, EnvOp{Kind: opResetEval})
 	var total float64
 	for i := 0; i < a.cfg.EvalSteps; i++ {
 		simplex := a.ddpg.Act(state)
@@ -370,11 +416,38 @@ func (a *Agent) Evaluate() (float64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("core: eval step %d: %w", i, err)
 		}
+		a.envLog = append(a.envLog, EnvOp{Kind: opStep, Alloc: m})
 		total += res.Reward
 		state = res.State
 	}
 	return total, nil
 }
+
+// healthyState is the in-memory rollback point the divergence guard
+// restores from: learner state only. The dataset is always-finite real
+// data and the environment never diverges, so neither is rolled back.
+type healthyState struct {
+	agent *rl.AgentState
+	model *envmodel.ModelState
+}
+
+// checkHealth probes the learner for numeric divergence. It runs after
+// policy improvement and before evaluation, so a diverged actor never
+// emits NaN allocations into the real environment.
+func (a *Agent) checkHealth() error {
+	if err := a.ddpg.CheckHealth(a.cfg.MaxAbsQ); err != nil {
+		return err
+	}
+	return a.model.CheckHealth()
+}
+
+func (a *Agent) captureHealthy() healthyState {
+	return healthyState{agent: a.ddpg.State(), model: a.model.State()}
+}
+
+// Rollbacks returns how many times the divergence guard restored the
+// learner from the last healthy iteration during Train.
+func (a *Agent) Rollbacks() int { return a.rollbacks }
 
 // Train runs the full Algorithm 2 loop and returns per-iteration
 // statistics. The first iteration collects with random actions (no useful
@@ -384,11 +457,34 @@ func (a *Agent) Evaluate() (float64, error) {
 // real-environment evaluation — Algorithm 2 terminates on "the policy
 // performs well in real environment", so the deployed policy is the one
 // that did.
+//
+// Each iteration the divergence guard (Config.MaxAbsQ) checks the learner
+// after policy improvement; on divergence the DDPG agent and the
+// environment model are restored from the last healthy iteration and the
+// loop continues, so one blown update does not destroy a long run.
+//
+// When the agent was primed by RestoreTraining, Train continues from the
+// checkpointed iteration instead of starting over; the returned stats
+// include the iterations completed before the interruption.
 func (a *Agent) Train() ([]IterationStats, error) {
 	stats := make([]IterationStats, 0, a.cfg.Iterations)
 	bestReturn := math.Inf(-1)
 	var bestActor *nn.Network
-	for iter := 0; iter < a.cfg.Iterations; iter++ {
+	startIter := 0
+	if a.resume != nil {
+		startIter = a.resume.iter
+		stats = append(stats, a.resume.stats...)
+		if a.resume.hasBest {
+			bestReturn = a.resume.bestReturn
+			bestActor = a.resume.bestActor
+		}
+		a.resume = nil
+	}
+	lastHealthy := a.captureHealthy()
+	for iter := startIter; iter < a.cfg.Iterations; iter++ {
+		if a.cfg.StopFn != nil && a.cfg.StopFn() {
+			return stats, ErrStopped
+		}
 		if err := a.CollectReal(a.cfg.StepsPerIteration, iter == 0); err != nil {
 			return stats, err
 		}
@@ -399,6 +495,26 @@ func (a *Agent) Train() ([]IterationStats, error) {
 		episodes, synthReturn, err := a.ImprovePolicy()
 		if err != nil {
 			return stats, err
+		}
+		rolledBack := false
+		if herr := a.checkHealth(); herr != nil {
+			if err := a.ddpg.Restore(lastHealthy.agent); err != nil {
+				return stats, fmt.Errorf("core: rollback after divergence (%v): %w", herr, err)
+			}
+			if err := a.model.Restore(lastHealthy.model); err != nil {
+				return stats, fmt.Errorf("core: rollback after divergence (%v): %w", herr, err)
+			}
+			a.rollbacks++
+			rolledBack = true
+			if a.cfg.Metrics != nil {
+				a.cfg.Metrics.Counter("miras_controller_rollback_total",
+					"Training rollbacks to the last healthy checkpoint after learner divergence.").Inc()
+			}
+			if ev := a.cfg.Recorder.Event("rollback"); ev != nil {
+				ev.Int("iteration", iter).Str("cause", herr.Error()).Emit()
+			}
+		} else {
+			lastHealthy = a.captureHealthy()
 		}
 		evalReturn, err := a.Evaluate()
 		if err != nil {
@@ -416,6 +532,7 @@ func (a *Agent) Train() ([]IterationStats, error) {
 			SyntheticReturn: synthReturn,
 			EvalReturn:      evalReturn,
 			NoiseSigma:      a.ddpg.NoiseSigma(),
+			RolledBack:      rolledBack,
 		})
 		// One event per Algorithm 2 outer iteration — the Fig. 6 trace.
 		if ev := a.cfg.Recorder.Event("iteration"); ev != nil {
@@ -428,6 +545,12 @@ func (a *Agent) Train() ([]IterationStats, error) {
 				F64("noise_sigma", a.ddpg.NoiseSigma()).
 				Uint("ddpg_updates", a.ddpg.Updates()).
 				Emit()
+		}
+		if a.cfg.CheckpointFn != nil {
+			st := a.trainState(iter+1, stats, bestReturn, bestActor)
+			if err := a.cfg.CheckpointFn(iter, st); err != nil {
+				return stats, fmt.Errorf("core: checkpoint after iteration %d: %w", iter, err)
+			}
 		}
 	}
 	if bestActor != nil {

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"miras/internal/envmodel"
+	"miras/internal/nn"
+	"miras/internal/rl"
+)
+
+// ErrStopped is returned by Train when Config.StopFn requested a clean
+// stop. The agent is left in a consistent, checkpointable state; callers
+// distinguish it from real failures to exit without reporting an error.
+var ErrStopped = errors.New("core: training stopped by request")
+
+// Environment-op kinds recorded in the replay log. Single letters keep the
+// serialized log small — it holds one entry per real-environment
+// interaction of the whole run.
+const (
+	opResetCollect = "rc" // collection-phase reset (runs ResetHook)
+	opResetEval    = "re" // evaluation reset (runs EvalHook)
+	opStep         = "s"  // step with the recorded allocation
+)
+
+// EnvOp is one replayable real-environment interaction. The environment's
+// discrete-event engine is not serialized; instead a resumed run rebuilds
+// it deterministically and replays the logged ops, which re-consumes the
+// engine's named random streams in the original order and leaves it in the
+// exact state the interrupted run saw.
+type EnvOp struct {
+	Kind  string `json:"k"`
+	Alloc []int  `json:"a,omitempty"`
+}
+
+// TrainState is the full serializable training state at an outer-iteration
+// boundary: everything needed to continue Train as if the process had
+// never stopped. BestReturn starts at -Inf inside Train, which JSON cannot
+// represent, so the pair (HasBest, BestReturn) encodes "no evaluation has
+// won yet" instead.
+type TrainState struct {
+	// Iter is the next outer iteration to run (completed iterations are 0
+	// through Iter-1).
+	Iter       int              `json:"iter"`
+	Stats      []IterationStats `json:"stats"`
+	HasBest    bool             `json:"has_best"`
+	BestReturn float64          `json:"best_return,omitempty"`
+	BestActor  *nn.Network      `json:"best_actor,omitempty"`
+	Rollbacks  int              `json:"rollbacks,omitempty"`
+	// RNG is the agent-level random stream position (rollout exploration,
+	// refiner shuffling).
+	RNG     uint64               `json:"rng"`
+	Agent   *rl.AgentState       `json:"agent"`
+	Model   *envmodel.ModelState `json:"model"`
+	Dataset *envmodel.Dataset    `json:"dataset"`
+	EnvLog  []EnvOp              `json:"env_log"`
+}
+
+// resumeInfo stashes the parts of a restored TrainState that live in
+// Train's local variables rather than in the agent.
+type resumeInfo struct {
+	iter       int
+	stats      []IterationStats
+	hasBest    bool
+	bestReturn float64
+	bestActor  *nn.Network
+}
+
+// trainState captures the agent's full training state at the end of an
+// iteration. Learner and model state are deep copies; the dataset and env
+// log are shared with the live agent, so callers must serialize the state
+// before training continues.
+func (a *Agent) trainState(nextIter int, stats []IterationStats, bestReturn float64, bestActor *nn.Network) *TrainState {
+	st := &TrainState{
+		Iter:      nextIter,
+		Stats:     stats,
+		Rollbacks: a.rollbacks,
+		RNG:       a.src.State(),
+		Agent:     a.ddpg.State(),
+		Model:     a.model.State(),
+		Dataset:   a.dataset,
+		EnvLog:    a.envLog,
+	}
+	if bestActor != nil {
+		st.HasBest = true
+		st.BestReturn = bestReturn
+		st.BestActor = bestActor.Clone()
+	}
+	return st
+}
+
+// RestoreTraining primes a freshly constructed agent with a checkpointed
+// TrainState so the next Train call continues the interrupted run. It
+// restores the DDPG learner, the environment model, and the dataset,
+// replays the environment-op log against the (freshly built, identically
+// seeded) real environment, and repositions the agent's random stream.
+//
+// The agent must have been built with the same Config as the checkpointed
+// run; shapes and values are validated, but on error the agent may be
+// partially restored and should be discarded.
+func (a *Agent) RestoreTraining(st *TrainState) error {
+	if st == nil {
+		return fmt.Errorf("core: restore: nil train state")
+	}
+	if st.Iter < 0 || st.Iter > a.cfg.Iterations {
+		return fmt.Errorf("core: restore: iteration %d out of range [0,%d]", st.Iter, a.cfg.Iterations)
+	}
+	if st.Agent == nil || st.Model == nil || st.Dataset == nil {
+		return fmt.Errorf("core: restore: missing agent, model, or dataset state")
+	}
+	j, ad := a.cfg.Env.StateDim(), a.cfg.Env.ActionDim()
+	if st.Dataset.StateDim() != j || st.Dataset.ActionDim() != ad {
+		return fmt.Errorf("core: restore: dataset dims (%d,%d) != environment (%d,%d)",
+			st.Dataset.StateDim(), st.Dataset.ActionDim(), j, ad)
+	}
+	if st.HasBest {
+		if st.BestActor == nil {
+			return fmt.Errorf("core: restore: has_best set without best actor")
+		}
+		if err := st.BestActor.Validate(); err != nil {
+			return fmt.Errorf("core: restore: best actor: %w", err)
+		}
+		if err := a.ddpg.Actor().SameShape(st.BestActor); err != nil {
+			return fmt.Errorf("core: restore: best actor: %w", err)
+		}
+	}
+	if err := a.ddpg.Restore(st.Agent); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	if err := a.model.Restore(st.Model); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	a.dataset = st.Dataset
+	if err := a.replayEnvLog(st.EnvLog); err != nil {
+		return err
+	}
+	a.envLog = st.EnvLog
+	a.src.SetState(st.RNG)
+	a.rollbacks = st.Rollbacks
+	a.resume = &resumeInfo{
+		iter:       st.Iter,
+		stats:      st.Stats,
+		hasBest:    st.HasBest,
+		bestReturn: st.BestReturn,
+		bestActor:  st.BestActor,
+	}
+	return nil
+}
+
+// replayEnvLog drives the real environment through the recorded
+// interaction sequence. Only the environment is touched: the learner's
+// state (including its episode bookkeeping) was restored separately, so
+// the replay must not call BeginEpisode or observe transitions.
+func (a *Agent) replayEnvLog(log []EnvOp) error {
+	e := a.cfg.Env
+	for i, op := range log {
+		switch op.Kind {
+		case opResetCollect:
+			e.Reset()
+			if a.cfg.ResetHook != nil {
+				a.cfg.ResetHook()
+			}
+		case opResetEval:
+			e.Reset()
+			if a.cfg.EvalHook != nil {
+				a.cfg.EvalHook()
+			}
+		case opStep:
+			if _, err := e.Step(op.Alloc); err != nil {
+				return fmt.Errorf("core: restore: replay op %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("core: restore: replay op %d has unknown kind %q", i, op.Kind)
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"os"
 
+	"miras/internal/checkpoint"
 	"miras/internal/mat"
 )
 
@@ -221,13 +222,14 @@ func (d *Dataset) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// Save writes the dataset to path as JSON.
+// Save writes the dataset to path as JSON. The write is atomic (temp file
+// + rename), so a crash mid-save leaves any previous archive intact.
 func (d *Dataset) Save(path string) error {
 	data, err := json.Marshal(d)
 	if err != nil {
 		return fmt.Errorf("envmodel: marshal dataset: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := checkpoint.WriteFileAtomic(path, data, 0o644); err != nil {
 		return fmt.Errorf("envmodel: save dataset: %w", err)
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"miras/internal/mat"
 	"miras/internal/nn"
 	"miras/internal/obs"
+	"miras/internal/sim"
 )
 
 // Config parameterises the environment model.
@@ -53,10 +54,13 @@ func (c Config) withDefaults() Config {
 // (§IV-C1, Figure 4). Inputs and outputs are standardised with statistics
 // refit on every call to Fit.
 type Model struct {
-	cfg     Config
-	net     *nn.Network
-	opt     *nn.Adam
+	cfg Config
+	net *nn.Network
+	opt *nn.Adam
+	// rng draws from src, a SplitMix64 source whose position is exported
+	// into training checkpoints.
 	rng     *rand.Rand
+	src     *sim.SplitMix
 	inNorm  *Normalizer
 	outNorm *Normalizer
 
@@ -83,7 +87,8 @@ func New(cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("envmodel: dims must be positive, got state=%d action=%d",
 			cfg.StateDim, cfg.ActionDim)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := sim.NewSplitMix(uint64(cfg.Seed))
+	rng := rand.New(src)
 	sizes := []int{cfg.StateDim + cfg.ActionDim}
 	sizes = append(sizes, cfg.Hidden...)
 	sizes = append(sizes, cfg.StateDim)
@@ -98,6 +103,7 @@ func New(cfg Config) (*Model, error) {
 		net:    net,
 		opt:    nn.NewAdam(net, nn.AdamConfig{LR: cfg.LR}),
 		rng:    rng,
+		src:    src,
 		inBuf:  make([]float64, cfg.StateDim+cfg.ActionDim),
 		outBuf: make([]float64, cfg.StateDim),
 		cache:  nn.NewCache(net),

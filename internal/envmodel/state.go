@@ -1,0 +1,113 @@
+package envmodel
+
+import (
+	"fmt"
+	"math"
+
+	"miras/internal/mat"
+	"miras/internal/nn"
+)
+
+// ModelState is a serializable snapshot of an environment model's mutable
+// state: network parameters, Adam moments, the fitted normalizers (nil
+// before the first Fit), and the RNG stream position. Restoring it into a
+// model built with the same Config makes subsequent fitting and prediction
+// bit-identical to a run that never stopped.
+type ModelState struct {
+	Net     *nn.Network  `json:"net"`
+	Opt     nn.AdamState `json:"opt"`
+	InNorm  *Normalizer  `json:"in_norm,omitempty"`
+	OutNorm *Normalizer  `json:"out_norm,omitempty"`
+	RNG     uint64       `json:"rng"`
+}
+
+// State captures the model's full mutable state as a deep copy.
+func (m *Model) State() *ModelState {
+	s := &ModelState{
+		Net: m.net.Clone(),
+		Opt: m.opt.State(),
+		RNG: m.src.State(),
+	}
+	if m.inNorm != nil {
+		s.InNorm = m.inNorm.clone()
+		s.OutNorm = m.outNorm.clone()
+	}
+	return s
+}
+
+// Restore overwrites the model's mutable state with a snapshot captured by
+// State on a model with the same Config. All shapes and values are checked
+// before anything is mutated.
+func (m *Model) Restore(s *ModelState) error {
+	if s.Net == nil {
+		return fmt.Errorf("envmodel: restore: missing network")
+	}
+	if err := s.Net.Validate(); err != nil {
+		return fmt.Errorf("envmodel: restore: %w", err)
+	}
+	if err := m.net.SameShape(s.Net); err != nil {
+		return fmt.Errorf("envmodel: restore: %w", err)
+	}
+	if (s.InNorm == nil) != (s.OutNorm == nil) {
+		return fmt.Errorf("envmodel: restore: normalizers must be both present or both absent")
+	}
+	if s.InNorm != nil {
+		if err := s.InNorm.validate(m.cfg.StateDim + m.cfg.ActionDim); err != nil {
+			return fmt.Errorf("envmodel: restore: input normalizer: %w", err)
+		}
+		if err := s.OutNorm.validate(m.cfg.StateDim); err != nil {
+			return fmt.Errorf("envmodel: restore: output normalizer: %w", err)
+		}
+	}
+	m.net.CopyParamsFrom(s.Net)
+	if err := m.opt.SetState(s.Opt); err != nil {
+		return fmt.Errorf("envmodel: restore: optimizer: %w", err)
+	}
+	if s.InNorm != nil {
+		m.inNorm = s.InNorm.clone()
+		m.outNorm = s.OutNorm.clone()
+	} else {
+		m.inNorm, m.outNorm = nil, nil
+	}
+	m.src.SetState(s.RNG)
+	return nil
+}
+
+// CheckHealth probes the model for numeric divergence: non-finite network
+// parameters or normalizer statistics.
+func (m *Model) CheckHealth() error {
+	if err := m.net.CheckFinite(); err != nil {
+		return fmt.Errorf("envmodel: model diverged: %w", err)
+	}
+	for _, n := range []*Normalizer{m.inNorm, m.outNorm} {
+		if n == nil {
+			continue
+		}
+		if err := n.validate(n.Dim()); err != nil {
+			return fmt.Errorf("envmodel: normalizer diverged: %w", err)
+		}
+	}
+	return nil
+}
+
+// clone returns a deep copy of the normalizer.
+func (n *Normalizer) clone() *Normalizer {
+	return &Normalizer{Mean: mat.VecClone(n.Mean), Std: mat.VecClone(n.Std)}
+}
+
+// validate checks the normalizer has the expected width, finite means, and
+// strictly positive finite standard deviations (Apply divides by Std).
+func (n *Normalizer) validate(dim int) error {
+	if len(n.Mean) != dim || len(n.Std) != dim {
+		return fmt.Errorf("envmodel: normalizer widths %d/%d != %d", len(n.Mean), len(n.Std), dim)
+	}
+	for i := range n.Mean {
+		if math.IsNaN(n.Mean[i]) || math.IsInf(n.Mean[i], 0) {
+			return fmt.Errorf("envmodel: normalizer mean[%d] = %g", i, n.Mean[i])
+		}
+		if math.IsNaN(n.Std[i]) || math.IsInf(n.Std[i], 0) || n.Std[i] <= 0 {
+			return fmt.Errorf("envmodel: normalizer std[%d] = %g", i, n.Std[i])
+		}
+	}
+	return nil
+}

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"miras/internal/core"
 	"miras/internal/rl"
 	"miras/internal/trace"
@@ -47,29 +45,8 @@ func rewardScale(s Setup) float64 {
 }
 
 // TrainingTrace reproduces Fig. 6: run the full Algorithm 2 loop and report
-// the per-iteration aggregated evaluation reward.
+// the per-iteration aggregated evaluation reward. It is TrainingTraceOpts
+// without checkpointing.
 func TrainingTrace(s Setup) (*TrainingResult, error) {
-	h, err := BuildHarness(s, 100)
-	if err != nil {
-		return nil, err
-	}
-	agent, err := core.NewAgent(mirasConfig(s, h))
-	if err != nil {
-		return nil, err
-	}
-	stats, err := agent.Train()
-	if err != nil {
-		return nil, err
-	}
-	table := trace.Table{
-		Title:  fmt.Sprintf("fig6-%s-training", s.EnsembleName),
-		XLabel: "iteration",
-		YLabel: fmt.Sprintf("aggregated reward over %d steps", s.EvalSteps),
-	}
-	rewards := make([]float64, len(stats))
-	for i, st := range stats {
-		rewards[i] = st.EvalReturn
-	}
-	table.AddSeries("miras", rewards)
-	return &TrainingResult{Stats: stats, Table: table, Agent: agent}, nil
+	return TrainingTraceOpts(s, TrainOptions{})
 }

@@ -2,6 +2,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -32,6 +33,19 @@ const (
 	CodeBadBurst ErrorCode = "bad_burst"
 	// CodeBadFaultPlan is a fault plan that fails validation.
 	CodeBadFaultPlan ErrorCode = "bad_fault_plan"
+	// CodeBadPolicy is a policy snapshot that fails validation or does not
+	// match the session's dimensions, or an auto-step on a session with no
+	// policy attached.
+	CodeBadPolicy ErrorCode = "bad_policy"
+	// CodeBadSnapshot is a session snapshot that fails validation or whose
+	// operation log cannot be replayed.
+	CodeBadSnapshot ErrorCode = "bad_snapshot"
+	// CodeBodyTooLarge means the request body exceeded the server's byte
+	// limit (HTTP 413).
+	CodeBodyTooLarge ErrorCode = "body_too_large"
+	// CodeRequestTimeout means the handler did not finish within the
+	// server's request deadline (HTTP 408).
+	CodeRequestTimeout ErrorCode = "request_timeout"
 )
 
 // ErrorDetail is the payload inside the error envelope.
@@ -52,9 +66,16 @@ func writeError(w http.ResponseWriter, status int, code ErrorCode, err error) {
 }
 
 // decodeBody decodes a JSON request body into v, reporting CodeBadRequest
-// on failure. It returns false when the response has already been written.
+// on failure (CodeBodyTooLarge when the body-size middleware cut the read
+// short). It returns false when the response has already been written.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return false
 	}

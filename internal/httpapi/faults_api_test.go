@@ -100,6 +100,20 @@ func TestErrorEnvelopeGolden(t *testing.T) {
 			wantStatus: 422,
 			wantBody:   envelope(CodeBadFaultPlan, `spec 0: faults: unknown kind "meteor"`),
 		},
+		{
+			name: "bad_policy", method: "POST", path: "/v1/sessions/" + sess.ID + "/step",
+			body:       `{}`,
+			wantStatus: 409,
+			wantBody: envelope(CodeBadPolicy, fmt.Sprintf(
+				"session %s has no policy attached: supply an allocation or attach one via POST /v1/sessions/%s/policy",
+				sess.ID, sess.ID)),
+		},
+		{
+			name: "bad_snapshot", method: "POST", path: "/v1/sessions/" + sess.ID + "/restore",
+			body:       `{"create":{"ensemble":"nope","budget":4}}`,
+			wantStatus: 422,
+			wantBody:   envelope(CodeBadSnapshot, `snapshot create request: unknown ensemble "nope"`),
+		},
 	}
 	for _, tc := range cases {
 		cl := tc.client

@@ -1,0 +1,330 @@
+// Serving-side self-healing: sessions can carry a frozen policy snapshot
+// that drives auto-steps, degrade to the HPA baseline when that policy
+// misbehaves (panic, non-finite output, budget violation), and promote the
+// policy back after consecutive healthy shadow probes. The same file holds
+// the snapshot/restore surface — a session's full history as a replayable
+// operation log — and the protective middlewares (body-size cap, request
+// deadline).
+
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"miras/internal/baselines"
+	"miras/internal/env"
+	"miras/internal/faults"
+	"miras/internal/rl"
+)
+
+// recoveryProbes is how many consecutive healthy shadow evaluations a
+// sidelined policy must pass before it regains control from the HPA
+// fallback.
+const recoveryProbes = 3
+
+// Operation kinds recorded in a session's replay log.
+const (
+	opKindStep   = "step"
+	opKindReset  = "reset"
+	opKindBurst  = "burst"
+	opKindFaults = "faults"
+)
+
+// SessionOp is one state-changing operation in a session's history. Steps
+// record the concrete applied allocation (auto-steps log what the
+// controller chose), so replay never depends on controller state.
+type SessionOp struct {
+	Kind string `json:"kind"`
+	// Alloc is set for "step" ops.
+	Alloc []int `json:"alloc,omitempty"`
+	// Counts is set for "burst" ops.
+	Counts []int `json:"counts,omitempty"`
+	// Plan is set for "faults" ops.
+	Plan *faults.Plan `json:"plan,omitempty"`
+}
+
+// SessionSnapshot is a session's portable state: the effective creation
+// request plus the ordered operation log, which together rebuild an
+// equivalent emulated system deterministically (same seed → same
+// trajectory), and the attached policy if any.
+type SessionSnapshot struct {
+	Create CreateRequest      `json:"create"`
+	Ops    []SessionOp        `json:"ops"`
+	Policy *rl.PolicySnapshot `json:"policy,omitempty"`
+}
+
+// decideAuto picks the allocation for a step request that omitted one.
+// Callers hold the server lock. The healthy path asks the attached policy;
+// any policy failure degrades the session to a fresh HPA fallback (counted
+// in miras_controller_fallback_total) which keeps serving while the policy
+// is shadow-probed each window. After recoveryProbes consecutive clean
+// probes the policy is promoted back (miras_controller_recovered_total).
+func (sess *session) decideAuto() ([]int, string, error) {
+	if sess.policy == nil && sess.fallback == nil {
+		return nil, "", fmt.Errorf("session %s has no policy attached: supply an allocation or attach one via POST /v1/sessions/%s/policy",
+			sess.id, sess.id)
+	}
+	prev := sess.prev
+	if !sess.havePrev {
+		prev = syntheticPrev(sess.env)
+	}
+	if sess.fallback == nil {
+		alloc, err := policyDecide(sess.policy, sess.env, prev.State)
+		if err == nil {
+			return alloc, "policy", nil
+		}
+		sess.fallback = baselines.NewHPA(sess.env.Budget())
+		sess.healthyProbes = 0
+		sess.fallbackTotal.Inc()
+		return sess.fallback.Decide(prev), "hpa", nil
+	}
+	// Degraded: HPA serves this window; shadow-probe the sidelined policy
+	// without applying its output. Promotion takes effect next window.
+	alloc := sess.fallback.Decide(prev)
+	if sess.policy != nil {
+		if _, err := policyDecide(sess.policy, sess.env, prev.State); err != nil {
+			sess.healthyProbes = 0
+		} else if sess.healthyProbes++; sess.healthyProbes >= recoveryProbes {
+			sess.fallback = nil
+			sess.healthyProbes = 0
+			sess.recoveredTotal.Inc()
+		}
+	}
+	return alloc, "hpa", nil
+}
+
+// syntheticPrev fabricates the controller input for the very first window
+// (or the first after a reset), when no step result exists yet: current
+// state, WIP read straight off the state vector, zero utilization.
+func syntheticPrev(e *env.Env) env.StepResult {
+	state := e.State()
+	j := e.ActionDim()
+	return env.StepResult{
+		State: state,
+		Stats: env.Stats{
+			WIP:         append([]float64(nil), state[:j]...),
+			Utilization: make([]float64, j),
+		},
+	}
+}
+
+// policyDecide runs the frozen policy defensively: panics are recovered,
+// outputs must be finite non-negative simplex weights, and the resulting
+// allocation must respect the budget. Any violation is a policy failure.
+func policyDecide(p *rl.PolicySnapshot, e *env.Env, state []float64) (alloc []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			alloc, err = nil, fmt.Errorf("policy panicked: %v", r)
+		}
+	}()
+	a := p.Act(state)
+	if len(a) != e.ActionDim() {
+		return nil, fmt.Errorf("policy emitted %d outputs, want %d", len(a), e.ActionDim())
+	}
+	for i, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("policy output[%d] = %g is not a simplex weight", i, v)
+		}
+	}
+	m := env.SimplexToAllocation(a, e.Budget())
+	if !env.ValidAllocation(m, e.Budget()) {
+		return nil, fmt.Errorf("policy allocation %v violates budget %d", m, e.Budget())
+	}
+	return m, nil
+}
+
+// validatePolicyFor checks a snapshot's internal consistency and that its
+// dimensions match the session's environment.
+func validatePolicyFor(p *rl.PolicySnapshot, e *env.Env) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if got := p.Actor.InDim(); got != e.StateDim() {
+		return fmt.Errorf("policy input width %d != session state dim %d", got, e.StateDim())
+	}
+	if got := p.Actor.OutDim(); got != e.ActionDim() {
+		return fmt.Errorf("policy output width %d != session action dim %d", got, e.ActionDim())
+	}
+	return nil
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	var snap rl.PolicySnapshot
+	if !decodeBody(w, r, &snap) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if err := validatePolicyFor(&snap, sess.env); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, CodeBadPolicy, err)
+		return
+	}
+	// A freshly attached policy starts trusted: clear any degradation left
+	// over from its predecessor.
+	sess.policy = &snap
+	sess.fallback = nil
+	sess.healthyProbes = 0
+	writeJSON(w, http.StatusOK, s.infoLocked(sess))
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	snap := SessionSnapshot{Create: sess.create, Ops: sess.ops, Policy: sess.policy}
+	if snap.Ops == nil {
+		snap.Ops = []SessionOp{}
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleRestore rebuilds the session from a snapshot: a fresh emulated
+// system from the creation request, the operation log replayed in order.
+// The swap is atomic from the client's view — any failure leaves the
+// current session untouched. Fault counters are cumulative across the
+// session's metric series, so replayed fault activations count again.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var snap SessionSnapshot
+	if !decodeBody(w, r, &snap) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	req := snap.Create
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	e, gen, _, err := s.buildSystem(req, sess.faultsTotal, sess.crashed)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
+			fmt.Errorf("snapshot create request: %w", err))
+		return
+	}
+	windows := 0
+	for i, op := range snap.Ops {
+		switch op.Kind {
+		case opKindStep:
+			if _, err := e.Step(op.Alloc); err != nil {
+				writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
+					fmt.Errorf("replay op %d (step): %w", i, err))
+				return
+			}
+			windows++
+		case opKindReset:
+			e.Reset()
+		case opKindBurst:
+			if err := gen.InjectBurst(op.Counts); err != nil {
+				writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
+					fmt.Errorf("replay op %d (burst): %w", i, err))
+				return
+			}
+		case opKindFaults:
+			if op.Plan == nil {
+				writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
+					fmt.Errorf("replay op %d (faults): missing plan", i))
+				return
+			}
+			if err := e.Cluster().ScheduleFaults(*op.Plan); err != nil {
+				writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
+					fmt.Errorf("replay op %d (faults): %w", i, err))
+				return
+			}
+		default:
+			writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
+				fmt.Errorf("replay op %d: unknown kind %q", i, op.Kind))
+			return
+		}
+	}
+	if snap.Policy != nil {
+		if err := validatePolicyFor(snap.Policy, e); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot, err)
+			return
+		}
+	}
+	sess.env = e
+	sess.generator = gen
+	sess.ensemble = req.Ensemble
+	sess.create = req
+	sess.ops = snap.Ops
+	sess.windows = windows
+	sess.policy = snap.Policy
+	sess.fallback = nil
+	sess.healthyProbes = 0
+	sess.prev = env.StepResult{}
+	sess.havePrev = false
+	sess.syncGauges()
+	writeJSON(w, http.StatusOK, s.infoLocked(sess))
+}
+
+// --- protective middlewares ---
+
+// maxBodyMiddleware caps every request body at n bytes; decodeBody turns
+// the resulting *http.MaxBytesError into a 413 body_too_large envelope.
+func maxBodyMiddleware(n int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, n)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// bufferedResponse accumulates a handler's full response in memory so the
+// timeout middleware can atomically either flush it or discard it in favor
+// of a 408 envelope. Handler responses here are small (session info, step
+// stats), so buffering is cheap.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) { b.status = status }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+// timeoutMiddleware bounds handler execution at d. Responses are buffered,
+// so a request that exceeds the deadline yields a clean 408
+// request_timeout envelope instead of a half-written body.
+func timeoutMiddleware(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		buf := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			next.ServeHTTP(buf, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			h := w.Header()
+			for k, vs := range buf.header {
+				h[k] = vs
+			}
+			w.WriteHeader(buf.status)
+			_, _ = w.Write(buf.body.Bytes())
+		case <-ctx.Done():
+			writeError(w, http.StatusRequestTimeout, CodeRequestTimeout,
+				fmt.Errorf("request exceeded the %s deadline", d))
+		}
+	})
+}

@@ -17,6 +17,9 @@
 //	POST   /v1/sessions/{id}/reset    clear WIP ({"state": […]})
 //	POST   /v1/sessions/{id}/burst    inject a request burst (BurstRequest → {"state": […]})
 //	POST   /v1/sessions/{id}/faults   arm a fault plan (faults.Plan → SessionInfo)
+//	POST   /v1/sessions/{id}/policy   attach a serving policy (rl.PolicySnapshot → SessionInfo)
+//	GET    /v1/sessions/{id}/snapshot export replayable session state (SessionSnapshot)
+//	POST   /v1/sessions/{id}/restore  rebuild the session from a snapshot (SessionSnapshot → SessionInfo)
 //	DELETE /v1/sessions/{id}          destroy a session (204)
 //
 // # Errors
@@ -27,7 +30,19 @@
 //
 // with one of the stable codes: bad_request, unknown_ensemble,
 // bad_session_config, session_limit, session_not_found, bad_allocation,
-// bad_burst, bad_fault_plan. Clients branch on code; messages may change.
+// bad_burst, bad_fault_plan, bad_policy, bad_snapshot, body_too_large,
+// request_timeout. Clients branch on code; messages may change.
+//
+// # Self-healing serving
+//
+// A session with an attached policy auto-allocates when a step request
+// omits the allocation. If the policy misbehaves — panics, emits NaN/Inf
+// or negative weights, or violates the budget — the session degrades to
+// the HPA baseline controller (miras_controller_fallback_total) and keeps
+// serving; the sidelined policy is shadow-probed each window and promoted
+// back after passing consecutive health probes
+// (miras_controller_recovered_total). SessionInfo reports has_policy and
+// degraded.
 //
 // # Fault injection
 //
@@ -46,10 +61,12 @@ import (
 	"sync"
 	"time"
 
+	"miras/internal/baselines"
 	"miras/internal/cluster"
 	"miras/internal/env"
 	"miras/internal/faults"
 	"miras/internal/obs"
+	"miras/internal/rl"
 	"miras/internal/sim"
 	"miras/internal/workflow"
 	"miras/internal/workload"
@@ -78,6 +95,11 @@ type Server struct {
 	rec          *obs.Recorder
 	sessionsLive *obs.Gauge
 	windowsTotal *obs.Counter
+
+	// maxBodyBytes caps request-body size (default 64 MiB; ≤0 disables).
+	maxBodyBytes int64
+	// reqTimeout bounds handler execution (0 disables).
+	reqTimeout time.Duration
 }
 
 // Option configures a Server at construction.
@@ -100,6 +122,20 @@ func WithRecorder(rec *obs.Recorder) Option {
 	return func(s *Server) { s.rec = rec }
 }
 
+// WithMaxBodyBytes caps request-body size; oversized bodies are rejected
+// with 413 body_too_large. Zero or negative disables the cap (the default
+// is 64 MiB — big enough for a full policy snapshot, small enough to
+// bound memory per request).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) { s.maxBodyBytes = n }
+}
+
+// WithRequestTimeout bounds each handler's execution; requests that run
+// longer are answered 408 request_timeout. Zero disables the deadline.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.reqTimeout = d }
+}
+
 // session is one live environment.
 type session struct {
 	id        string
@@ -108,19 +144,41 @@ type session struct {
 	generator *workload.Generator
 	windows   int
 
+	// create is the effective creation request (defaults applied); the
+	// snapshot endpoint replays it to rebuild an equivalent session.
+	create CreateRequest
+	// ops logs every state-changing operation since creation, in order,
+	// for snapshot/restore. It grows with session lifetime; long-lived
+	// training sessions that never snapshot pay only the memory.
+	ops []SessionOp
+
+	// policy is the attached serving policy (nil until POST …/policy).
+	policy *rl.PolicySnapshot
+	// fallback is non-nil while the session is degraded to the HPA
+	// baseline after a policy failure; healthyProbes counts consecutive
+	// successful shadow probes of the sidelined policy.
+	fallback      *baselines.HPA
+	healthyProbes int
+	// prev is the last step result, feeding controller decisions.
+	prev     env.StepResult
+	havePrev bool
+
 	// Per-session metrics, removed from the registry on DELETE.
-	wip         *obs.Gauge
-	inflight    *obs.Gauge
-	faultsTotal *obs.Counter
-	crashed     *obs.Counter
+	wip            *obs.Gauge
+	inflight       *obs.Gauge
+	faultsTotal    *obs.Counter
+	crashed        *obs.Counter
+	fallbackTotal  *obs.Counter
+	recoveredTotal *obs.Counter
 }
 
 // NewServer returns an empty server. With no options it uses a fresh
 // metrics registry and allows 64 concurrent sessions.
 func NewServer(opts ...Option) *Server {
 	s := &Server{
-		sessions:    make(map[string]*session),
-		MaxSessions: 64,
+		sessions:     make(map[string]*session),
+		MaxSessions:  64,
+		maxBodyBytes: 64 << 20,
 	}
 	for _, o := range opts {
 		o(s)
@@ -150,8 +208,18 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/sessions/{id}/reset", s.instrument("reset", s.handleReset))
 	mux.Handle("POST /v1/sessions/{id}/burst", s.instrument("burst", s.handleBurst))
 	mux.Handle("POST /v1/sessions/{id}/faults", s.instrument("faults", s.handleFaults))
+	mux.Handle("POST /v1/sessions/{id}/policy", s.instrument("policy", s.handlePolicy))
+	mux.Handle("GET /v1/sessions/{id}/snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.Handle("POST /v1/sessions/{id}/restore", s.instrument("restore", s.handleRestore))
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
-	return mux
+	var h http.Handler = mux
+	if s.maxBodyBytes > 0 {
+		h = maxBodyMiddleware(s.maxBodyBytes, h)
+	}
+	if s.reqTimeout > 0 {
+		h = timeoutMiddleware(s.reqTimeout, h)
+	}
+	return h
 }
 
 // instrument wraps h with a per-endpoint request counter, error counter,
@@ -241,15 +309,26 @@ type SessionInfo struct {
 	// ActiveFaults lists the ones currently live.
 	FaultSpecs   int                  `json:"fault_specs"`
 	ActiveFaults []faults.ActiveFault `json:"active_faults,omitempty"`
+	// HasPolicy reports whether a serving policy is attached; Degraded is
+	// true while the session has fallen back to the HPA baseline after a
+	// policy failure.
+	HasPolicy bool `json:"has_policy"`
+	Degraded  bool `json:"degraded"`
 }
 
-// StepRequest applies one allocation.
+// StepRequest applies one allocation. When Allocation is omitted the
+// session's attached policy decides (auto-step); if the policy misbehaves
+// the session degrades to the HPA baseline until the policy passes
+// health probes again.
 type StepRequest struct {
-	// Allocation is m(k): consumers per microservice, Σ ≤ budget.
+	// Allocation is m(k): consumers per microservice, Σ ≤ budget. Omit it
+	// to let the attached policy allocate.
 	Allocation []int `json:"allocation"`
 }
 
-// StepResponse reports one window's outcome.
+// StepResponse reports one window's outcome. Allocation and Controller
+// are set on auto-steps: the applied allocation and which controller
+// ("policy" or "hpa") produced it.
 type StepResponse struct {
 	State          []float64 `json:"state"`
 	Reward         float64   `json:"reward"`
@@ -260,6 +339,8 @@ type StepResponse struct {
 	Utilization    []float64 `json:"utilization"`
 	Completed      int       `json:"completed"`
 	MeanDelaySec   float64   `json:"mean_delay_sec"`
+	Allocation     []int     `json:"allocation,omitempty"`
+	Controller     string    `json:"controller,omitempty"`
 }
 
 // BurstRequest injects requests.
@@ -283,15 +364,56 @@ func (s *Server) handleEnsembles(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// buildSystem constructs the emulated system (engine, cluster, workload,
+// env) for an effective create request. On failure it returns the error
+// code the caller should report.
+func (s *Server) buildSystem(req CreateRequest, faultsTotal, crashed *obs.Counter) (*env.Env, *workload.Generator, ErrorCode, error) {
+	ens, ok := workflow.ByName(req.Ensemble)
+	if !ok {
+		return nil, nil, CodeUnknownEnsemble, fmt.Errorf("unknown ensemble %q", req.Ensemble)
+	}
+	engine := sim.NewEngine()
+	streams := sim.NewStreams(req.Seed)
+	copts := []cluster.Option{cluster.WithFaultMetrics(faultsTotal, crashed)}
+	if req.Faults != nil {
+		copts = append(copts, cluster.WithFaultPlan(*req.Faults))
+	}
+	c, err := cluster.New(cluster.Config{
+		Ensemble: ens, Engine: engine, Streams: streams, Recorder: s.rec,
+	}, copts...)
+	if err != nil {
+		code := CodeBadSessionConfig
+		if req.Faults != nil && req.Faults.Validate(ens.NumTasks()) != nil {
+			code = CodeBadFaultPlan
+		}
+		return nil, nil, code, err
+	}
+	rates := req.Rates
+	if rates == nil {
+		rates = workload.DefaultRates(ens)
+	}
+	gen, err := workload.NewGenerator(c, streams, engine, rates)
+	if err != nil {
+		return nil, nil, CodeBadSessionConfig, err
+	}
+	gen.Start()
+	e, err := env.New(env.Config{
+		Cluster:      c,
+		Generator:    gen,
+		Budget:       req.Budget,
+		WindowSec:    req.WindowSec,
+		Recorder:     s.rec,
+		FailureAware: req.FailureAware,
+	})
+	if err != nil {
+		return nil, nil, CodeBadSessionConfig, err
+	}
+	return e, gen, "", nil
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
 	if !decodeBody(w, r, &req) {
-		return
-	}
-	ens, ok := workflow.ByName(req.Ensemble)
-	if !ok {
-		writeError(w, http.StatusBadRequest, CodeUnknownEnsemble,
-			fmt.Errorf("unknown ensemble %q", req.Ensemble))
 		return
 	}
 	if req.Seed == 0 {
@@ -314,51 +436,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	crashed := s.reg.Counter("miras_consumers_crashed",
 		"Consumers killed by fault injection, by session.",
 		"session", id)
-	cleanup := func() {
+
+	e, gen, code, err := s.buildSystem(req, faultsTotal, crashed)
+	if err != nil {
 		s.reg.Remove("miras_faults_total", "session", id)
 		s.reg.Remove("miras_consumers_crashed", "session", id)
-	}
-
-	engine := sim.NewEngine()
-	streams := sim.NewStreams(req.Seed)
-	copts := []cluster.Option{cluster.WithFaultMetrics(faultsTotal, crashed)}
-	if req.Faults != nil {
-		copts = append(copts, cluster.WithFaultPlan(*req.Faults))
-	}
-	c, err := cluster.New(cluster.Config{
-		Ensemble: ens, Engine: engine, Streams: streams, Recorder: s.rec,
-	}, copts...)
-	if err != nil {
-		cleanup()
-		code := CodeBadSessionConfig
-		if req.Faults != nil && req.Faults.Validate(ens.NumTasks()) != nil {
-			code = CodeBadFaultPlan
-		}
-		writeError(w, http.StatusBadRequest, code, err)
-		return
-	}
-	rates := req.Rates
-	if rates == nil {
-		rates = workload.DefaultRates(ens)
-	}
-	gen, err := workload.NewGenerator(c, streams, engine, rates)
-	if err != nil {
-		cleanup()
-		writeError(w, http.StatusBadRequest, CodeBadSessionConfig, err)
-		return
-	}
-	gen.Start()
-	e, err := env.New(env.Config{
-		Cluster:      c,
-		Generator:    gen,
-		Budget:       req.Budget,
-		WindowSec:    req.WindowSec,
-		Recorder:     s.rec,
-		FailureAware: req.FailureAware,
-	})
-	if err != nil {
-		cleanup()
-		writeError(w, http.StatusBadRequest, CodeBadSessionConfig, err)
+		status := http.StatusBadRequest
+		writeError(w, status, code, err)
 		return
 	}
 
@@ -368,6 +452,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		ensemble:    req.Ensemble,
 		env:         e,
 		generator:   gen,
+		create:      req,
 		faultsTotal: faultsTotal,
 		crashed:     crashed,
 	}
@@ -376,6 +461,12 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		"session", sess.id)
 	sess.inflight = s.reg.Gauge("miras_cluster_inflight",
 		"Live (incomplete) workflow instances, by session.",
+		"session", sess.id)
+	sess.fallbackTotal = s.reg.Counter("miras_controller_fallback_total",
+		"Policy failures that degraded the session to the HPA baseline, by session.",
+		"session", sess.id)
+	sess.recoveredTotal = s.reg.Counter("miras_controller_recovered_total",
+		"Policies restored to control after passing health probes, by session.",
 		"session", sess.id)
 	s.sessions[sess.id] = sess
 	sess.syncGauges()
@@ -425,6 +516,8 @@ func (s *Server) infoLocked(sess *session) SessionInfo {
 		Dropped:      v.Dropped,
 		FaultSpecs:   c.FaultSpecs(),
 		ActiveFaults: c.ActiveFaults(),
+		HasPolicy:    sess.policy != nil,
+		Degraded:     sess.fallback != nil,
 	}
 }
 
@@ -439,12 +532,25 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := sess.env.Step(req.Allocation)
+	alloc := req.Allocation
+	controller := ""
+	if alloc == nil {
+		var err error
+		alloc, controller, err = sess.decideAuto()
+		if err != nil {
+			writeError(w, http.StatusConflict, CodeBadPolicy, err)
+			return
+		}
+	}
+	res, err := sess.env.Step(alloc)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, CodeBadAllocation, err)
 		return
 	}
 	sess.windows++
+	sess.prev = res
+	sess.havePrev = true
+	sess.ops = append(sess.ops, SessionOp{Kind: opKindStep, Alloc: alloc})
 	s.windowsTotal.Inc()
 	sess.syncGauges()
 	writeJSON(w, http.StatusOK, StepResponse{
@@ -457,6 +563,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		Utilization:    res.Stats.Utilization,
 		Completed:      len(res.Stats.Completions),
 		MeanDelaySec:   res.Stats.MeanDelay(),
+		Allocation:     alloc,
+		Controller:     controller,
 	})
 }
 
@@ -468,6 +576,11 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	state := sess.env.Reset()
+	sess.havePrev = false
+	if sess.fallback != nil {
+		sess.fallback.Reset()
+	}
+	sess.ops = append(sess.ops, SessionOp{Kind: opKindReset})
 	sess.syncGauges()
 	writeJSON(w, http.StatusOK, map[string][]float64{"state": state})
 }
@@ -487,6 +600,7 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, CodeBadBurst, err)
 		return
 	}
+	sess.ops = append(sess.ops, SessionOp{Kind: opKindBurst, Counts: req.Counts})
 	sess.syncGauges()
 	writeJSON(w, http.StatusOK, map[string][]float64{"state": sess.env.State()})
 }
@@ -506,6 +620,7 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, CodeBadFaultPlan, err)
 		return
 	}
+	sess.ops = append(sess.ops, SessionOp{Kind: opKindFaults, Plan: &plan})
 	writeJSON(w, http.StatusOK, s.infoLocked(sess))
 }
 
@@ -523,6 +638,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.reg.Remove("miras_cluster_inflight", "session", id)
 	s.reg.Remove("miras_faults_total", "session", id)
 	s.reg.Remove("miras_consumers_crashed", "session", id)
+	s.reg.Remove("miras_controller_fallback_total", "session", id)
+	s.reg.Remove("miras_controller_recovered_total", "session", id)
 	s.sessionsLive.Set(float64(len(s.sessions)))
 	w.WriteHeader(http.StatusNoContent)
 }

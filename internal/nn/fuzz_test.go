@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// FuzzNetworkDecode hammers the network JSON codec — the input surface of
+// policy snapshots, saved models, and training checkpoints. Decoding must
+// never panic; a successful decode must yield a structurally valid network
+// (consistent layer widths, finite parameters) that round-trips to stable
+// bytes and survives a forward pass.
+func FuzzNetworkDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	plain := NewNetwork(Config{Sizes: []int{3, 4, 2}, AuxLayer: -1}, rng)
+	aux := NewNetwork(Config{Sizes: []int{3, 4, 1}, AuxLayer: 1, AuxDim: 2}, rng)
+	for _, n := range []*Network{plain, aux} {
+		data, err := json.Marshal(n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"aux_layer":-1,"layers":[{"rows":1,"cols":1,"weights":[0.5],"bias":[0],"activation":"identity"}]}`))
+	f.Add([]byte(`{"aux_layer":-1,"layers":[{"rows":2,"cols":1,"weights":[1],"bias":[0,0],"activation":"relu"}]}`))
+	f.Add([]byte(`{"aux_layer":-1,"layers":[{"rows":-1,"cols":-1,"weights":[1],"bias":[],"activation":"relu"}]}`))
+	f.Add([]byte(`{"aux_layer":0,"aux_dim":3,"layers":[{"rows":1,"cols":2,"weights":[1,2],"bias":[0],"activation":"tanh"}]}`))
+	f.Add([]byte(`{"aux_layer":-1,"layers":[{"rows":1,"cols":1,"weights":[1e999],"bias":[0],"activation":"identity"}]}`))
+	f.Add([]byte(`{"aux_layer":-1,"layers":[{"rows":1,"cols":2,"weights":[1,1],"bias":[0],"activation":"identity"},{"rows":1,"cols":3,"weights":[1,1,1],"bias":[0],"activation":"identity"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var n Network
+		if err := json.Unmarshal(data, &n); err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("decoded network fails validation: %v\ninput: %q", err, data)
+		}
+		// A validated network must survive inference on a zero input.
+		x := make([]float64, n.InDim())
+		var auxIn []float64
+		if n.AuxLayer >= 0 {
+			auxIn = make([]float64, n.AuxDim)
+		}
+		_ = n.Forward(x, auxIn)
+		out, err := json.Marshal(&n)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v\ninput: %q", err, data)
+		}
+		var n2 Network
+		if err := json.Unmarshal(out, &n2); err != nil {
+			t.Fatalf("round-trip decode failed: %v\nencoded: %q", err, out)
+		}
+		out2, err := json.Marshal(&n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round-trip unstable:\nfirst:  %q\nsecond: %q", out, out2)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"miras/internal/checkpoint"
 	"miras/internal/mat"
 )
 
@@ -49,6 +50,9 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 	}
 	layers := make([]*Dense, 0, len(in.Layers))
 	for i, lj := range in.Layers {
+		if lj.Rows <= 0 || lj.Cols <= 0 {
+			return fmt.Errorf("nn: layer %d has non-positive shape %dx%d", i, lj.Rows, lj.Cols)
+		}
 		if lj.Rows*lj.Cols != len(lj.Weights) {
 			return fmt.Errorf("nn: layer %d weight length %d != %dx%d", i, len(lj.Weights), lj.Rows, lj.Cols)
 		}
@@ -68,16 +72,25 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 	n.Layers = layers
 	n.AuxLayer = in.AuxLayer
 	n.AuxDim = in.AuxDim
+	// Reject inconsistent architectures and non-finite parameters here so
+	// no torn or hand-edited file can reach inference code, which panics on
+	// shape mismatches and silently propagates NaN.
+	if err := n.Validate(); err != nil {
+		n.Layers = nil
+		return err
+	}
 	return nil
 }
 
-// Save writes the network to path as JSON.
+// Save writes the network to path as JSON. The write is atomic (temp file
+// + rename): a crash mid-save leaves the previous file intact instead of a
+// torn one.
 func (n *Network) Save(path string) error {
 	data, err := json.Marshal(n)
 	if err != nil {
 		return fmt.Errorf("nn: marshal network: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := checkpoint.WriteFileAtomic(path, data, 0o644); err != nil {
 		return fmt.Errorf("nn: save network: %w", err)
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"miras/internal/mat"
 	"miras/internal/nn"
 	"miras/internal/obs"
+	"miras/internal/sim"
 )
 
 // Environment is what the DDPG agent trains against: either the synthetic
@@ -146,7 +147,11 @@ type DDPG struct {
 
 	actorOpt, criticOpt *nn.Adam
 	replay              *ReplayBuffer
-	rng                 *rand.Rand
+	// rng draws from src, a SplitMix64 source whose position is exported
+	// into training checkpoints (math/rand's default source hides its
+	// state, which would make resumed runs diverge).
+	rng *rand.Rand
+	src *sim.SplitMix
 
 	pnoise  *ParamNoise
 	ounoise *OUNoise
@@ -176,6 +181,11 @@ type DDPG struct {
 	logBuf         []float64
 	updates        uint64
 
+	// lastCriticLoss and lastMeanQ record the most recent Update's outputs
+	// for the divergence health check.
+	lastCriticLoss float64
+	lastMeanQ      float64
+
 	rec *obs.Recorder
 }
 
@@ -190,7 +200,8 @@ func NewDDPG(cfg Config) (*DDPG, error) {
 		return nil, fmt.Errorf("rl: need at least 2 hidden layers for second-layer action injection, got %d",
 			len(cfg.Hidden))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := sim.NewSplitMix(uint64(cfg.Seed))
+	rng := rand.New(src)
 
 	actorSizes := append([]int{cfg.StateDim}, cfg.Hidden...)
 	actorSizes = append(actorSizes, cfg.ActionDim)
@@ -216,6 +227,7 @@ func NewDDPG(cfg Config) (*DDPG, error) {
 		criticOpt:    nn.NewAdam(critic, nn.AdamConfig{LR: cfg.CriticLR}),
 		replay:       NewReplayBuffer(cfg.ReplayCapacity),
 		rng:          rng,
+		src:          src,
 		norm:         newRunningNorm(cfg.StateDim),
 		batch:        make([]Experience, cfg.BatchSize),
 		logBuf:       make([]float64, cfg.StateDim),
@@ -446,6 +458,7 @@ func (d *DDPG) Update() (criticLoss, meanQ float64) {
 	d.actorTarget.SoftUpdateFrom(d.actor, cfg.Tau)
 	d.criticTarget.SoftUpdateFrom(d.critic, cfg.Tau)
 	d.updates++
+	d.lastCriticLoss, d.lastMeanQ = criticLoss, meanQ
 	d.rec.Debug("ddpg_update").
 		Uint("update", d.updates).
 		F64("critic_loss", criticLoss).
@@ -469,6 +482,10 @@ func (d *DDPG) RawNoiseViolations() (violations, total uint64) {
 
 // Actor returns the current deterministic policy network.
 func (d *DDPG) Actor() *nn.Network { return d.actor }
+
+// Critic returns the current value network. Exposed for the training
+// guard's health probes (and their tests, which poison it deliberately).
+func (d *DDPG) Critic() *nn.Network { return d.critic }
 
 // RestoreActorParams overwrites the policy (and its target and perturbed
 // copies) with src's parameters. The MIRAS agent uses it to roll back to

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 
+	"miras/internal/checkpoint"
 	"miras/internal/mat"
 	"miras/internal/nn"
 )
@@ -35,20 +36,56 @@ func (d *DDPG) Snapshot() *PolicySnapshot {
 	}
 }
 
-// Save writes the snapshot to path as JSON.
+// Save writes the snapshot to path as JSON. The write is atomic (temp
+// file + rename), so a crash mid-save leaves any previous snapshot intact.
 func (s *PolicySnapshot) Save(path string) error {
 	data, err := json.Marshal(s)
 	if err != nil {
 		return fmt.Errorf("rl: marshal policy snapshot: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := checkpoint.WriteFileAtomic(path, data, 0o644); err != nil {
 		return fmt.Errorf("rl: save policy snapshot: %w", err)
 	}
 	return nil
 }
 
+// Validate checks a snapshot's internal consistency: a structurally valid
+// actor with no auxiliary input (Act feeds it nil aux), finite parameters,
+// and normaliser statistics that match the actor's input width and cannot
+// produce NaN standard deviations. Snapshots arriving over the wire (the
+// HTTP policy-attach endpoint) go through this before first use.
+func (s *PolicySnapshot) Validate() error {
+	if s.Actor == nil || len(s.Actor.Layers) == 0 {
+		return fmt.Errorf("rl: snapshot has no actor network")
+	}
+	if err := s.Actor.Validate(); err != nil {
+		return fmt.Errorf("rl: snapshot actor: %w", err)
+	}
+	if s.Actor.AuxLayer >= 0 {
+		return fmt.Errorf("rl: snapshot actor has an auxiliary input (aux layer %d)", s.Actor.AuxLayer)
+	}
+	dim := s.Actor.InDim()
+	if len(s.NormMean) != dim || len(s.NormM2) != dim {
+		return fmt.Errorf("rl: snapshot normaliser width %d/%d != actor input %d",
+			len(s.NormMean), len(s.NormM2), dim)
+	}
+	if math.IsNaN(s.NormCount) || math.IsInf(s.NormCount, 0) || s.NormCount < 0 {
+		return fmt.Errorf("rl: snapshot normaliser count %g invalid", s.NormCount)
+	}
+	if !finiteAll(s.NormMean) || !finiteAll(s.NormM2) {
+		return fmt.Errorf("rl: snapshot normaliser statistics not finite")
+	}
+	for i, v := range s.NormM2 {
+		if v < 0 {
+			return fmt.Errorf("rl: snapshot normaliser M2[%d] = %g negative", i, v)
+		}
+	}
+	return nil
+}
+
 // LoadPolicySnapshot reads a snapshot written by Save and validates its
-// internal consistency.
+// internal consistency, rejecting non-finite weights and dimension
+// mismatches with a clean error.
 func LoadPolicySnapshot(path string) (*PolicySnapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -58,13 +95,8 @@ func LoadPolicySnapshot(path string) (*PolicySnapshot, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("rl: decode policy snapshot: %w", err)
 	}
-	if s.Actor == nil || len(s.Actor.Layers) == 0 {
-		return nil, fmt.Errorf("rl: snapshot has no actor network")
-	}
-	dim := s.Actor.InDim()
-	if len(s.NormMean) != dim || len(s.NormM2) != dim {
-		return nil, fmt.Errorf("rl: snapshot normaliser width %d/%d != actor input %d",
-			len(s.NormMean), len(s.NormM2), dim)
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	return &s, nil
 }

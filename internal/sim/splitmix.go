@@ -1,0 +1,42 @@
+package sim
+
+// SplitMix is a SplitMix64 pseudo-random generator (Steele, Lea & Flood,
+// 2014) exposed as a math/rand Source64. Unlike the runtime's default
+// source, its entire state is one exported-able uint64, so a generator's
+// exact position can be checkpointed and restored — the property the
+// crash-safe training checkpoints require. The learner-side components
+// (DDPG agent, environment model, MIRAS outer loop) draw from SplitMix
+// streams; the emulation side keeps the engine's named streams and is
+// restored by deterministic replay instead.
+//
+// SplitMix64 passes BigCrush and is a full-period 2^64 sequence; it is not
+// cryptographic, which is irrelevant here.
+type SplitMix struct {
+	s uint64
+}
+
+// NewSplitMix returns a SplitMix64 source seeded with seed.
+func NewSplitMix(seed uint64) *SplitMix { return &SplitMix{s: seed} }
+
+// Uint64 returns the next value in the sequence (rand.Source64).
+func (p *SplitMix) Uint64() uint64 {
+	p.s += 0x9E3779B97F4A7C15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (p *SplitMix) Int63() int64 { return int64(p.Uint64() >> 1) }
+
+// Seed implements rand.Source, resetting the stream position to seed.
+func (p *SplitMix) Seed(seed int64) { p.s = uint64(seed) }
+
+// State returns the current stream position. Restoring it with SetState
+// resumes the exact sequence: the generator after SetState(State()) emits
+// the same values it would have without the round trip.
+func (p *SplitMix) State() uint64 { return p.s }
+
+// SetState repositions the stream to a position previously read with State.
+func (p *SplitMix) SetState(s uint64) { p.s = s }

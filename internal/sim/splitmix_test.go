@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSplitMixDeterministic(t *testing.T) {
+	a, b := NewSplitMix(42), NewSplitMix(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+	c := NewSplitMix(43)
+	same := 0
+	a = NewSplitMix(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 42 and 43 collided on %d of 1000 draws", same)
+	}
+}
+
+func TestSplitMixStateRoundTrip(t *testing.T) {
+	src := NewSplitMix(7)
+	rng := rand.New(src)
+	// Burn a mixed workload (including variable-draw ziggurat methods).
+	for i := 0; i < 500; i++ {
+		rng.Float64()
+		rng.NormFloat64()
+		rng.Intn(100)
+	}
+	state := src.State()
+	want := make([]float64, 64)
+	for i := range want {
+		want[i] = rng.NormFloat64() + rng.Float64()
+	}
+
+	restored := NewSplitMix(0)
+	restored.SetState(state)
+	rng2 := rand.New(restored)
+	for i := range want {
+		if got := rng2.NormFloat64() + rng2.Float64(); got != want[i] {
+			t.Fatalf("restored stream diverged at draw %d: %g != %g", i, got, want[i])
+		}
+	}
+}
+
+func TestSplitMixIsSource64(t *testing.T) {
+	var _ rand.Source64 = (*SplitMix)(nil)
+	// rand.New must route through Uint64 (Source64 fast path); just verify
+	// construction works and produces values in range.
+	rng := rand.New(NewSplitMix(1))
+	for i := 0; i < 100; i++ {
+		if v := rng.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
