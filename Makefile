@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo
+.PHONY: build test vet race check bench bench-smoke fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,16 @@ check:
 
 bench:
 	./scripts/bench.sh
+
+# Fast perf regression gate for CI: exercise the parallel GEMM kernels at
+# GOMAXPROCS 1 and 2 (10 iterations — correctness of the dispatch path, not
+# timing), and pin the zero-allocation claims of the kernel-pool dispatch
+# and the serving decide path via testing.AllocsPerRun.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatMulBlocked|BenchmarkNNForwardBatch|BenchmarkNNBackwardBatch|BenchmarkEnvModelFit' -benchtime 10x -cpu 1,2 .
+	$(GO) test -run 'TestKernelDispatchZeroAlloc' -count 1 ./internal/parallel/
+	$(GO) test -run 'TestPolicyDecideZeroAlloc' -count 1 ./internal/httpapi/
+	$(GO) test -run 'TestActToMatchesActZeroAlloc' -count 1 ./internal/rl/
 
 fmt:
 	gofmt -l -w .

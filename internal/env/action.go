@@ -11,14 +11,23 @@ import (
 // paper's rule m_j = ⌊C·a_j⌋ (§IV-D). The floor guarantees Σ m_j ≤ C for
 // any simplex input, which is exactly why the paper chose it.
 func SimplexToAllocation(a []float64, budget int) []int {
-	m := make([]int, len(a))
+	return SimplexToAllocationTo(make([]int, len(a)), a, budget)
+}
+
+// SimplexToAllocationTo is SimplexToAllocation writing into dst (which must
+// have len(a) entries) and returning it — the allocation-free variant the
+// serving hot path uses with a per-session buffer.
+func SimplexToAllocationTo(dst []int, a []float64, budget int) []int {
+	if len(dst) != len(a) {
+		panic(fmt.Sprintf("env: SimplexToAllocationTo destination %d != %d", len(dst), len(a)))
+	}
 	for j, v := range a {
 		if v < 0 {
 			v = 0
 		}
-		m[j] = int(float64(budget) * v)
+		dst[j] = int(float64(budget) * v)
 	}
-	return m
+	return dst
 }
 
 // AllocationToSimplex converts integer consumer counts back to a fractional

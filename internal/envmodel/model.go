@@ -71,10 +71,16 @@ type Model struct {
 	grads  *nn.Grads
 
 	// batched-training scratch reused across Fit calls: one row per
-	// minibatch sample.
+	// minibatch sample, plus the sampled-transition staging slice, the
+	// per-epoch loss buffer Fit returns a view of, and the persistent
+	// normalizer storage fitNormalizers refits in place — together they
+	// keep the steady-state Fit loop allocation-free.
 	bcache         *nn.BatchCache
 	batchX, batchT *mat.Matrix
 	batchD         *mat.Matrix
+	fitBatch       []Transition
+	lossBuf        []float64
+	fitIn, fitOut  *Normalizer
 
 	rec    *obs.Recorder
 	recTag string
@@ -99,19 +105,28 @@ func New(cfg Config) (*Model, error) {
 		AuxLayer: -1,
 	}, rng)
 	m := &Model{
-		cfg:    cfg,
-		net:    net,
-		opt:    nn.NewAdam(net, nn.AdamConfig{LR: cfg.LR}),
-		rng:    rng,
-		src:    src,
-		inBuf:  make([]float64, cfg.StateDim+cfg.ActionDim),
-		outBuf: make([]float64, cfg.StateDim),
-		cache:  nn.NewCache(net),
-		grads:  nn.NewGrads(net),
-		bcache: nn.NewBatchCache(net, cfg.Batch),
-		batchX: mat.New(cfg.Batch, cfg.StateDim+cfg.ActionDim),
-		batchT: mat.New(cfg.Batch, cfg.StateDim),
-		batchD: mat.New(cfg.Batch, cfg.StateDim),
+		cfg:      cfg,
+		net:      net,
+		opt:      nn.NewAdam(net, nn.AdamConfig{LR: cfg.LR}),
+		rng:      rng,
+		src:      src,
+		inBuf:    make([]float64, cfg.StateDim+cfg.ActionDim),
+		outBuf:   make([]float64, cfg.StateDim),
+		cache:    nn.NewCache(net),
+		grads:    nn.NewGrads(net),
+		bcache:   nn.NewBatchCache(net, cfg.Batch),
+		batchX:   mat.New(cfg.Batch, cfg.StateDim+cfg.ActionDim),
+		batchT:   mat.New(cfg.Batch, cfg.StateDim),
+		batchD:   mat.New(cfg.Batch, cfg.StateDim),
+		fitBatch: make([]Transition, cfg.Batch),
+		fitIn: &Normalizer{
+			Mean: make([]float64, cfg.StateDim+cfg.ActionDim),
+			Std:  make([]float64, cfg.StateDim+cfg.ActionDim),
+		},
+		fitOut: &Normalizer{
+			Mean: make([]float64, cfg.StateDim),
+			Std:  make([]float64, cfg.StateDim),
+		},
 	}
 	return m, nil
 }
@@ -136,9 +151,10 @@ func (m *Model) Trained() bool { return m.inNorm != nil }
 // Fit (re)fits the normalisation statistics on d and trains the network
 // for the given number of epochs, minimising the one-step squared
 // prediction error of §IV-C1. It returns the mean training loss of each
-// epoch (in normalised units). Repeated calls continue training the same
-// parameters with refreshed statistics — the incremental retraining of
-// Algorithm 2 line 4.
+// epoch (in normalised units); the returned slice aliases a reusable
+// buffer and is valid until the next Fit on this model — copy it to
+// retain. Repeated calls continue training the same parameters with
+// refreshed statistics — the incremental retraining of Algorithm 2 line 4.
 func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
 	if d.StateDim() != m.cfg.StateDim || d.ActionDim() != m.cfg.ActionDim {
 		return nil, fmt.Errorf("envmodel: dataset dims (%d,%d) != model dims (%d,%d)",
@@ -152,11 +168,16 @@ func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
 	}
 	m.fitNormalizers(d)
 
-	batch := make([]Transition, m.cfg.Batch)
-	raw := make([]float64, m.cfg.StateDim)
+	batch := m.fitBatch
+	// outBuf doubles as the raw-target scratch: it is only live inside
+	// PredictTo and fitNormalizers, never across the staging loop.
+	raw := m.outBuf
 	stepsPerEpoch := (d.Len() + m.cfg.Batch - 1) / m.cfg.Batch
 
-	losses := make([]float64, 0, epochs)
+	if cap(m.lossBuf) < epochs {
+		m.lossBuf = make([]float64, 0, epochs)
+	}
+	losses := m.lossBuf[:0]
 	for e := 0; e < epochs; e++ {
 		var epochLoss float64
 		for s := 0; s < stepsPerEpoch; s++ {
@@ -192,6 +213,7 @@ func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
 			Int("dataset", d.Len()).
 			Emit()
 	}
+	m.lossBuf = losses
 	return losses, nil
 }
 
@@ -247,11 +269,16 @@ func (m *Model) targetTo(dst []float64, t Transition) {
 // materialising a per-row copy of it. The accumulation order (transitions
 // ascending, dimensions left to right, mean pass then deviation pass) is
 // exactly FitNormalizer's, so the statistics are bit-identical to fitting
-// on explicit rows.
+// on explicit rows. The statistics are accumulated into the model's
+// persistent fitIn/fitOut storage (zeroed first), so refits allocate
+// nothing.
 func (m *Model) fitNormalizers(d *Dataset) {
-	inDim := m.cfg.StateDim + m.cfg.ActionDim
-	in := &Normalizer{Mean: make([]float64, inDim), Std: make([]float64, inDim)}
-	out := &Normalizer{Mean: make([]float64, m.cfg.StateDim), Std: make([]float64, m.cfg.StateDim)}
+	in, out := m.fitIn, m.fitOut
+	for _, s := range [][]float64{in.Mean, in.Std, out.Mean, out.Std} {
+		for i := range s {
+			s[i] = 0
+		}
+	}
 	raw := m.outBuf
 	for i := 0; i < d.Len(); i++ {
 		t := d.At(i)

@@ -58,12 +58,41 @@ type SessionSnapshot struct {
 	Policy *rl.PolicySnapshot `json:"policy,omitempty"`
 }
 
+// decideScratch is a session's preallocated working memory for policy
+// decisions: the snapshot evaluation scratch plus the allocation buffer
+// SimplexToAllocationTo fills. It is owned by exactly one session and used
+// only under that session's lock, so concurrent auto-steps on different
+// sessions never share state — the decide hot path takes no server-wide
+// mutex and performs no allocations.
+type decideScratch struct {
+	// owner is the snapshot the scratch was built for; attaching or
+	// restoring a different policy invalidates it.
+	owner *rl.PolicySnapshot
+	act   *rl.PolicyScratch
+	alloc []int
+}
+
+// scratchFor returns the session's decide scratch, (re)building it when the
+// policy or environment shape changed since it was last used.
+func (sess *session) scratchFor(p *rl.PolicySnapshot) *decideScratch {
+	if sess.scratch == nil || sess.scratch.owner != p || len(sess.scratch.alloc) != sess.env.ActionDim() {
+		sess.scratch = &decideScratch{
+			owner: p,
+			act:   p.NewScratch(),
+			alloc: make([]int, sess.env.ActionDim()),
+		}
+	}
+	return sess.scratch
+}
+
 // decideAuto picks the allocation for a step request that omitted one.
-// Callers hold the server lock. The healthy path asks the attached policy;
+// Callers hold the session lock. The healthy path asks the attached policy;
 // any policy failure degrades the session to a fresh HPA fallback (counted
 // in miras_controller_fallback_total) which keeps serving while the policy
 // is shadow-probed each window. After recoveryProbes consecutive clean
 // probes the policy is promoted back (miras_controller_recovered_total).
+// The returned allocation may alias session-owned scratch; callers that
+// retain it past the next decision must copy.
 func (sess *session) decideAuto() ([]int, string, error) {
 	if sess.policy == nil && sess.fallback == nil {
 		return nil, "", fmt.Errorf("session %s has no policy attached: supply an allocation or attach one via POST /v1/sessions/%s/policy",
@@ -74,7 +103,7 @@ func (sess *session) decideAuto() ([]int, string, error) {
 		prev = syntheticPrev(sess.env)
 	}
 	if sess.fallback == nil {
-		alloc, err := policyDecide(sess.policy, sess.env, prev.State)
+		alloc, err := policyDecide(sess.policy, sess.env, prev.State, sess.scratchFor(sess.policy))
 		if err == nil {
 			return alloc, "policy", nil
 		}
@@ -87,7 +116,7 @@ func (sess *session) decideAuto() ([]int, string, error) {
 	// without applying its output. Promotion takes effect next window.
 	alloc := sess.fallback.Decide(prev)
 	if sess.policy != nil {
-		if _, err := policyDecide(sess.policy, sess.env, prev.State); err != nil {
+		if _, err := policyDecide(sess.policy, sess.env, prev.State, sess.scratchFor(sess.policy)); err != nil {
 			sess.healthyProbes = 0
 		} else if sess.healthyProbes++; sess.healthyProbes >= recoveryProbes {
 			sess.fallback = nil
@@ -116,13 +145,15 @@ func syntheticPrev(e *env.Env) env.StepResult {
 // policyDecide runs the frozen policy defensively: panics are recovered,
 // outputs must be finite non-negative simplex weights, and the resulting
 // allocation must respect the budget. Any violation is a policy failure.
-func policyDecide(p *rl.PolicySnapshot, e *env.Env, state []float64) (alloc []int, err error) {
+// All working memory comes from sc, so the healthy path performs zero
+// allocations; the returned allocation aliases sc.alloc.
+func policyDecide(p *rl.PolicySnapshot, e *env.Env, state []float64, sc *decideScratch) (alloc []int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			alloc, err = nil, fmt.Errorf("policy panicked: %v", r)
 		}
 	}()
-	a := p.Act(state)
+	a := p.ActTo(sc.act, state)
 	if len(a) != e.ActionDim() {
 		return nil, fmt.Errorf("policy emitted %d outputs, want %d", len(a), e.ActionDim())
 	}
@@ -131,7 +162,7 @@ func policyDecide(p *rl.PolicySnapshot, e *env.Env, state []float64) (alloc []in
 			return nil, fmt.Errorf("policy output[%d] = %g is not a simplex weight", i, v)
 		}
 	}
-	m := env.SimplexToAllocation(a, e.Budget())
+	m := env.SimplexToAllocationTo(sc.alloc, a, e.Budget())
 	if !env.ValidAllocation(m, e.Budget()) {
 		return nil, fmt.Errorf("policy allocation %v violates budget %d", m, e.Budget())
 	}
@@ -158,31 +189,33 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &snap) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if err := validatePolicyFor(&snap, sess.env); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, CodeBadPolicy, err)
 		return
 	}
 	// A freshly attached policy starts trusted: clear any degradation left
-	// over from its predecessor.
+	// over from its predecessor. The decide scratch belongs to the old
+	// policy; drop it so the first auto-step rebuilds it for this one.
 	sess.policy = &snap
 	sess.fallback = nil
 	sess.healthyProbes = 0
-	writeJSON(w, http.StatusOK, s.infoLocked(sess))
+	sess.scratch = nil
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	snap := SessionSnapshot{Create: sess.create, Ops: sess.ops, Policy: sess.policy}
 	if snap.Ops == nil {
 		snap.Ops = []SessionOp{}
@@ -200,12 +233,12 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &snap) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	req := snap.Create
 	if req.Seed == 0 {
 		req.Seed = 1
@@ -266,10 +299,11 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	sess.policy = snap.Policy
 	sess.fallback = nil
 	sess.healthyProbes = 0
+	sess.scratch = nil
 	sess.prev = env.StepResult{}
 	sess.havePrev = false
 	sess.syncGauges()
-	writeJSON(w, http.StatusOK, s.infoLocked(sess))
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
 }
 
 // --- protective middlewares ---

@@ -72,11 +72,14 @@ import (
 	"miras/internal/workload"
 )
 
-// Server is the HTTP handler. It is safe for concurrent use; each session
-// is single-threaded internally and guarded by the server lock (the
-// discrete-event engine is not concurrent).
+// Server is the HTTP handler. It is safe for concurrent use: the server
+// lock guards only the session registry (reads take the shared side), and
+// each session carries its own lock serialising its emulated system (the
+// discrete-event engine is not concurrent). Requests against different
+// sessions therefore proceed fully in parallel — the serving hot path
+// never contends on a server-wide mutex.
 type Server struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards sessions and nextID only
 	sessions map[string]*session
 	nextID   int
 
@@ -136,8 +139,12 @@ func WithRequestTimeout(d time.Duration) Option {
 	return func(s *Server) { s.reqTimeout = d }
 }
 
-// session is one live environment.
+// session is one live environment. mu serialises every operation touching
+// the session's state; handlers lock it after resolving the id through the
+// server's registry lock, so sessions never contend with each other.
 type session struct {
+	mu sync.Mutex
+
 	id        string
 	ensemble  string
 	env       *env.Env
@@ -159,6 +166,9 @@ type session struct {
 	// successful shadow probes of the sidelined policy.
 	fallback      *baselines.HPA
 	healthyProbes int
+	// scratch is the preallocated decide working memory (see decideScratch);
+	// nil until the first auto-step and after a policy change.
+	scratch *decideScratch
 	// prev is the last step result, feeding controller decisions.
 	prev     env.StepResult
 	havePrev bool
@@ -471,14 +481,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.sessions[sess.id] = sess
 	sess.syncGauges()
 	s.sessionsLive.Set(float64(len(s.sessions)))
-	writeJSON(w, http.StatusCreated, s.infoLocked(sess))
+	writeJSON(w, http.StatusCreated, sessionInfo(sess))
 }
 
-// lookup resolves a session id, writing the session_not_found envelope when
-// it is absent. Callers must hold the server lock.
+// lookup resolves a session id under the registry's read lock, writing the
+// session_not_found envelope when it is absent. The lock is released before
+// returning; callers take the session's own lock before touching its state.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	id := r.PathValue("id")
+	s.mu.RLock()
 	sess, ok := s.sessions[id]
+	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeSessionNotFound,
 			fmt.Errorf("no session %q", id))
@@ -488,16 +501,18 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool)
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.infoLocked(sess))
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
 }
 
-func (s *Server) infoLocked(sess *session) SessionInfo {
+// sessionInfo builds the wire view of a session. Callers hold the session
+// lock.
+func sessionInfo(sess *session) SessionInfo {
 	c := sess.env.Cluster()
 	v := c.FaultView()
 	return SessionInfo{
@@ -526,12 +541,12 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	alloc := req.Allocation
 	controller := ""
 	if alloc == nil {
@@ -550,7 +565,13 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	sess.windows++
 	sess.prev = res
 	sess.havePrev = true
-	sess.ops = append(sess.ops, SessionOp{Kind: opKindStep, Alloc: alloc})
+	// Auto-decided allocations alias the session's decide scratch, which the
+	// next decision overwrites; the replay log needs its own copy.
+	logged := alloc
+	if controller != "" {
+		logged = append([]int(nil), alloc...)
+	}
+	sess.ops = append(sess.ops, SessionOp{Kind: opKindStep, Alloc: logged})
 	s.windowsTotal.Inc()
 	sess.syncGauges()
 	writeJSON(w, http.StatusOK, StepResponse{
@@ -569,12 +590,12 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	state := sess.env.Reset()
 	sess.havePrev = false
 	if sess.fallback != nil {
@@ -590,12 +611,12 @@ func (s *Server) handleBurst(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if err := sess.generator.InjectBurst(req.Counts); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, CodeBadBurst, err)
 		return
@@ -610,18 +631,18 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &plan) {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	sess, ok := s.lookup(w, r)
 	if !ok {
 		return
 	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	if err := sess.env.Cluster().ScheduleFaults(plan); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, CodeBadFaultPlan, err)
 		return
 	}
 	sess.ops = append(sess.ops, SessionOp{Kind: opKindFaults, Plan: &plan})
-	writeJSON(w, http.StatusOK, s.infoLocked(sess))
+	writeJSON(w, http.StatusOK, sessionInfo(sess))
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -645,7 +666,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // syncGauges refreshes the session's env/cluster gauges from the emulated
-// system. Called under the server lock after any state-changing endpoint.
+// system. Called under the session lock after any state-changing endpoint.
 func (sess *session) syncGauges() {
 	c := sess.env.Cluster()
 	sess.wip.Set(c.TotalWIP())
@@ -654,7 +675,7 @@ func (sess *session) syncGauges() {
 
 // SessionCount returns the number of live sessions.
 func (s *Server) SessionCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.sessions)
 }

@@ -8,8 +8,10 @@ import (
 // This file contains the batched (matrix-matrix) kernels behind the
 // minibatch training path. They are destination-passing and allocation-free
 // in steady state: MulTo packs its right operand into a transposed scratch
-// buffer drawn from a pool, so every inner loop is a contiguous dot product
-// of two row-major rows.
+// buffer (caller-owned via MulToBuf, or drawn from a pool), so every inner
+// loop is a contiguous dot product of two row-major rows. Large products
+// are tiled over rows and fanned across the parallel kernel pool — see
+// pgemm.go — without changing any per-entry arithmetic.
 //
 // Numerically, every kernel accumulates along the shared dimension in
 // ascending order — the same order the per-sample kernels (MulVecTo,
@@ -20,6 +22,15 @@ import (
 // gemmBlock is the row-block size for the packed right operand: one block
 // of Bᵀ rows is kept hot in cache while every row of A streams past it.
 const gemmBlock = 64
+
+// Epilogue post-processes completed output rows inside a GEMM — the fused
+// bias-add + activation hook. ApplyRow is called exactly once per output
+// row, after the row's dot products are final, while the row is still
+// cache-hot; rows may be processed concurrently from kernel workers, so
+// ApplyRow must only touch row-local data (and read-only shared state).
+type Epilogue interface {
+	ApplyRow(i int, row []float64)
+}
 
 var gemmScratch = sync.Pool{
 	New: func() any { s := make([]float64, 0, 4096); return &s },
@@ -34,11 +45,36 @@ func getScratch(n int) *[]float64 {
 	return sp
 }
 
+// growBuf resizes *buf to length n, reusing its backing array when large
+// enough.
+func growBuf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // MulTo computes dst = a · b, where a is m×k, b is k×n, and dst is m×n.
 // dst must not alias a or b. The implementation packs b into a transposed
 // scratch layout once and then performs blocked row-by-row dot products,
 // which keeps all three operands on unit-stride access.
 func (dst *Matrix) MulTo(a, b *Matrix) {
+	k, n := b.Rows, b.Cols
+	sp := getScratch(k * n)
+	dst.mulPacked(a, b, *sp, nil)
+	gemmScratch.Put(sp)
+}
+
+// MulToBuf is MulTo packing b into the caller-owned buffer *buf (grown as
+// needed) instead of pool scratch, so steady-state callers that hold a
+// buffer per product shape stay allocation-free. The optional epilogue is
+// fused into the kernel (nil for none).
+func (dst *Matrix) MulToBuf(a, b *Matrix, buf *[]float64, ep Epilogue) {
+	dst.mulPacked(a, b, growBuf(buf, b.Rows*b.Cols), ep)
+}
+
+func (dst *Matrix) mulPacked(a, b *Matrix, bt []float64, ep Epilogue) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MulTo inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
@@ -46,16 +82,13 @@ func (dst *Matrix) MulTo(a, b *Matrix) {
 		panic(fmt.Sprintf("mat: MulTo destination %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	k, n := b.Rows, b.Cols
-	sp := getScratch(k * n)
-	bt := *sp
 	for i := 0; i < k; i++ {
 		row := b.Data[i*n : (i+1)*n]
 		for j, v := range row {
 			bt[j*k+i] = v
 		}
 	}
-	mulPackedTrans(dst, a, bt, n)
-	gemmScratch.Put(sp)
+	gemm(dst, a, bt, n, ep)
 }
 
 // MulTransTo computes dst = a · bᵀ, where a is m×k, b is n×k, and dst is
@@ -63,31 +96,40 @@ func (dst *Matrix) MulTo(a, b *Matrix) {
 // kernel wants, so no packing is needed; this is the forward-pass shape
 // (inputs · weightsᵀ) and the reason layer weights are stored out×in.
 func (dst *Matrix) MulTransTo(a, b *Matrix) {
+	dst.MulTransEpilogueTo(a, b, nil)
+}
+
+// MulTransEpilogueTo is MulTransTo with an epilogue fused into the kernel:
+// ep.ApplyRow runs on each output row right after its dot products
+// complete (bias add + activation without a second pass over dst). A nil
+// epilogue is a plain product.
+func (dst *Matrix) MulTransEpilogueTo(a, b *Matrix, ep Epilogue) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: MulTransTo inner dimension mismatch %dx%d * (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("mat: MulTransTo destination %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	mulPackedTrans(dst, a, b.Data, b.Rows)
+	gemm(dst, a, b.Data, b.Rows, ep)
 }
 
-// mulPackedTrans computes dst = a · btᵀ where bt holds n rows of length
-// a.Cols (i.e. the right operand already transposed). Rows of bt are
-// processed in blocks so a block stays cache-resident while every row of a
-// streams through it; within a block a 2×4 register micro-kernel shares
-// each loaded element across up to eight accumulator chains. Every output
-// entry is still one plain ascending-order dot product, so results are
-// bit-identical to the per-sample kernels.
-func mulPackedTrans(dst, a *Matrix, bt []float64, n int) {
+// mulPackedTransRows computes rows [r0, r1) of dst = a · btᵀ, where bt
+// holds n rows of length a.Cols (i.e. the right operand already
+// transposed). Rows of bt are processed in blocks so a block stays
+// cache-resident while the tile's rows of a stream through it; within a
+// block a 2×4 register micro-kernel shares each loaded element across up
+// to eight accumulator chains. Every output entry is one plain
+// ascending-order dot product, so results are bit-identical to the
+// per-sample kernels — and independent of how the row range is tiled.
+func mulPackedTransRows(dst, a *Matrix, bt []float64, n, r0, r1 int) {
 	k := a.Cols
 	for j0 := 0; j0 < n; j0 += gemmBlock {
 		j1 := j0 + gemmBlock
 		if j1 > n {
 			j1 = n
 		}
-		i := 0
-		for ; i+1 < a.Rows; i += 2 {
+		i := r0
+		for ; i+1 < r1; i += 2 {
 			// Reslicing every row to an explicit length k lets the
 			// compiler prove p < len(...) and drop the bounds checks in
 			// the micro-kernel.
@@ -127,7 +169,7 @@ func mulPackedTrans(dst, a *Matrix, bt []float64, n int) {
 				d0[j], d1[j] = s0, s1
 			}
 		}
-		if i < a.Rows {
+		if i < r1 {
 			arow := a.Data[i*k:][:k]
 			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
 			for j := j0; j < j1; j++ {
@@ -139,6 +181,16 @@ func mulPackedTrans(dst, a *Matrix, bt []float64, n int) {
 				drow[j] = sum
 			}
 		}
+	}
+}
+
+// applyEpilogueRows runs ep over rows [r0, r1) of dst.
+func applyEpilogueRows(ep Epilogue, dst *Matrix, r0, r1 int) {
+	if ep == nil {
+		return
+	}
+	for r := r0; r < r1; r++ {
+		ep.ApplyRow(r, dst.Data[r*dst.Cols:][:dst.Cols])
 	}
 }
 
@@ -154,19 +206,24 @@ func (dst *Matrix) AddMulATBScaled(a, b *Matrix, s float64) {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("mat: AddMulATBScaled destination %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
+	rankUpdate(dst, a, b, s)
+}
+
+// addMulATBScaledRows accumulates rows [i0, i1) of dst += s · aᵀ · b. The
+// adds are explicitly left-associated with samples folded two at a time,
+// so each dst entry sees the samples in exactly the ascending order
+// sequential AddOuterScaled calls would apply them — for any row tiling.
+func addMulATBScaledRows(dst, a, b *Matrix, s float64, i0, i1 int) {
 	m, n := a.Cols, b.Cols
-	// Two samples per pass halves the read/write traffic on dst. The adds
-	// are explicitly left-associated, so each dst entry sees the samples in
-	// exactly the ascending order sequential AddOuterScaled calls would
-	// apply them.
+	// Two samples per pass halves the read/write traffic on dst.
 	r := 0
 	for ; r+1 < a.Rows; r += 2 {
 		a0 := a.Data[r*m:][:m]
 		a1 := a.Data[(r+1)*m:][:m]
 		b0 := b.Data[r*n:][:n]
 		b1 := b.Data[(r+1)*n:][:n]
-		for i, av0 := range a0 {
-			f0, f1 := s*av0, s*a1[i]
+		for i := i0; i < i1; i++ {
+			f0, f1 := s*a0[i], s*a1[i]
 			if f0 == 0 && f1 == 0 {
 				continue
 			}
@@ -179,7 +236,8 @@ func (dst *Matrix) AddMulATBScaled(a, b *Matrix, s float64) {
 	if r < a.Rows {
 		arow := a.Data[r*m : (r+1)*m]
 		brow := b.Data[r*n : (r+1)*n]
-		for i, av := range arow {
+		for i := i0; i < i1; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}

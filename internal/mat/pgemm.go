@@ -1,0 +1,119 @@
+package mat
+
+import (
+	"sync"
+
+	"miras/internal/parallel"
+)
+
+// Parallel dispatch for the GEMM-shaped kernels. Large products are
+// decomposed into destination row tiles and fanned across
+// parallel.Kernel's persistent pool; small products (and all products when
+// only one worker is available) run the original untiled serial loop,
+// which streams the packed right operand exactly once.
+//
+// Determinism: tiles own disjoint destination rows, and every output
+// entry is computed by exactly the arithmetic the serial kernel uses —
+// one ascending-order accumulation chain whose shape does not depend on
+// the tiling. Results are therefore bit-identical to serial execution for
+// any GOMAXPROCS / SetMaxWorkers setting, even though the tile count is
+// sized from the worker count for cache economy (each extra tile re-reads
+// the shared operand once more, so tiles ≈ 2·workers keeps per-worker
+// traffic near serial levels while leaving stealing slack). pgemm_test.go
+// pins bit-identity across worker counts.
+
+// minParallelFlops gates parallel dispatch on problem size (counted as
+// 2·m·n·k multiply-adds). At ~10 GFLOP/s per core the threshold is ~13 µs
+// of work — several times the fork-join round trip.
+const minParallelFlops = 1 << 17
+
+// rowTileSpan returns the per-tile row count for fanning m destination
+// rows across w workers: ~2 tiles per worker, rounded up to an even span
+// so the 2-row micro-kernel never loses its pairing except at the final
+// short tile.
+func rowTileSpan(m, w int) int {
+	span := (m + 2*w - 1) / (2 * w)
+	span = (span + 1) &^ 1
+	if span < 2 {
+		span = 2
+	}
+	return span
+}
+
+// gemmTask is a reusable launch descriptor for dst = a · btᵀ (+ epilogue).
+type gemmTask struct {
+	dst, a *Matrix
+	bt     []float64
+	n      int
+	ep     Epilogue
+	span   int
+}
+
+func (t *gemmTask) RunTile(tile int) {
+	r0 := tile * t.span
+	r1 := r0 + t.span
+	if r1 > t.a.Rows {
+		r1 = t.a.Rows
+	}
+	mulPackedTransRows(t.dst, t.a, t.bt, t.n, r0, r1)
+	applyEpilogueRows(t.ep, t.dst, r0, r1)
+}
+
+var gemmTasks = sync.Pool{New: func() any { return new(gemmTask) }}
+
+// gemm computes dst = a · btᵀ then applies ep row-wise, tiling over dst
+// rows when the product is large enough to pay for the fan-out and more
+// than one worker is available.
+func gemm(dst, a *Matrix, bt []float64, n int, ep Epilogue) {
+	m, k := a.Rows, a.Cols
+	w := parallel.MaxWorkers()
+	if w <= 1 || m < 4 || 2*m*n*k < minParallelFlops {
+		mulPackedTransRows(dst, a, bt, n, 0, m)
+		applyEpilogueRows(ep, dst, 0, m)
+		return
+	}
+	t := gemmTasks.Get().(*gemmTask)
+	t.dst, t.a, t.bt, t.n, t.ep = dst, a, bt, n, ep
+	t.span = rowTileSpan(m, w)
+	parallel.Kernel((m+t.span-1)/t.span, t)
+	*t = gemmTask{}
+	gemmTasks.Put(t)
+}
+
+// rankTask is a reusable launch descriptor for dst += s · aᵀ · b.
+type rankTask struct {
+	dst, a, b *Matrix
+	s         float64
+	span      int
+}
+
+func (t *rankTask) RunTile(tile int) {
+	i0 := tile * t.span
+	i1 := i0 + t.span
+	if i1 > t.dst.Rows {
+		i1 = t.dst.Rows
+	}
+	addMulATBScaledRows(t.dst, t.a, t.b, t.s, i0, i1)
+}
+
+var rankTasks = sync.Pool{New: func() any { return new(rankTask) }}
+
+// rankUpdate accumulates dst += s · aᵀ · b, tiling over dst rows when the
+// update is large enough and more than one worker is available. Each dst
+// row is owned by one tile and folds the minibatch in ascending sample
+// order, so accumulation is bit-identical to the serial kernel for any
+// worker count.
+func rankUpdate(dst, a, b *Matrix, s float64) {
+	m, n := a.Cols, b.Cols
+	w := parallel.MaxWorkers()
+	if w <= 1 || m < 4 || 2*a.Rows*m*n < minParallelFlops {
+		addMulATBScaledRows(dst, a, b, s, 0, m)
+		return
+	}
+	t := rankTasks.Get().(*rankTask)
+	t.dst, t.a, t.b, t.s = dst, a, b, s
+	t.span = rowTileSpan(m, w)
+	parallel.Kernel((m+t.span-1)/t.span, t)
+	*t = rankTask{}
+	rankTasks.Put(t)
+}

@@ -27,6 +27,33 @@ type BatchCache struct {
 	// primary and auxiliary parts (nil when the network has no aux input).
 	dXSplit *mat.Matrix
 	dAux    *mat.Matrix
+	// eps[l] is the reusable fused bias+activation epilogue descriptor for
+	// layer l; its fields are (re)bound to the layer's parameters on every
+	// ForwardBatch, so a cache works with any same-shaped network.
+	eps []biasActEpilogue
+	// wPack[l] is the persistent packing buffer for layer l's weight
+	// matrix in BackwardBatch's input-gradient GEMM, keeping the backward
+	// pass off the shared scratch pool (and allocation-free).
+	wPack [][]float64
+}
+
+// biasActEpilogue is the fused GEMM epilogue: add the layer bias and apply
+// the activation to each completed output row while it is cache-hot.
+// Activations are applied row-wise, so elementwise activations are
+// unaffected by the batching and vectorwise ones (Softmax) normalise per
+// sample as they must. ApplyRow may run on kernel-pool workers; it only
+// writes its own row and reads the shared bias/activation, which are
+// immutable during a pass.
+type biasActEpilogue struct {
+	b   []float64
+	act Activation
+}
+
+func (e *biasActEpilogue) ApplyRow(_ int, row []float64) {
+	for j, bv := range e.b {
+		row[j] += bv
+	}
+	e.act.Apply(row, row)
 }
 
 // NewBatchCache allocates a cache for running batches of the given size
@@ -41,7 +68,9 @@ func NewBatchCache(n *Network, batch int) *BatchCache {
 		c.outputs = append(c.outputs, mat.New(batch, layer.OutDim()))
 		c.dPre = append(c.dPre, mat.New(batch, layer.OutDim()))
 		c.dIn = append(c.dIn, mat.New(batch, layer.InDim()))
+		c.wPack = append(c.wPack, make([]float64, layer.InDim()*layer.OutDim()))
 	}
+	c.eps = make([]biasActEpilogue, len(n.Layers))
 	c.dGrad = mat.New(batch, n.OutDim())
 	if n.AuxLayer >= 0 {
 		split := n.Layers[n.AuxLayer].InDim() - n.AuxDim
@@ -86,16 +115,13 @@ func (n *Network) ForwardBatch(c *BatchCache, x, aux *mat.Matrix) *mat.Matrix {
 		} else {
 			in.CopyFrom(cur)
 		}
+		// One fused kernel per layer: GEMM with the bias add and activation
+		// applied to each output row in the epilogue, eliminating two extra
+		// passes over the batch×out output matrix.
+		ep := &c.eps[l]
+		ep.b, ep.act = layer.B, layer.Act
 		out := c.outputs[l]
-		out.MulTransTo(in, layer.W)
-		out.AddRowVector(layer.B)
-		// Activations are applied row-wise: elementwise activations are
-		// unaffected by the split, and vectorwise ones (Softmax) normalise
-		// per sample as they must.
-		for r := 0; r < c.batch; r++ {
-			o := out.Row(r)
-			layer.Act.Apply(o, o)
-		}
+		out.MulTransEpilogueTo(in, layer.W, ep)
 		cur = out
 	}
 	return cur
@@ -126,9 +152,10 @@ func (n *Network) BackwardBatch(c *BatchCache, dOut *mat.Matrix, g *Grads) (dX, 
 		// update), dB += column sums of dPre.
 		g.W[l].AddMulATBScaled(dPre, c.inputs[l], 1)
 		dPre.AddColumnSumsScaled(g.B[l], 1)
-		// Input gradient: dIn = dPre · W.
+		// Input gradient: dIn = dPre · W, packing W into the cache's
+		// persistent per-layer buffer (no pool traffic, no allocations).
 		dIn := c.dIn[l]
-		dIn.MulTo(dPre, layer.W)
+		dIn.MulToBuf(dPre, layer.W, &c.wPack[l], nil)
 		if l == n.AuxLayer {
 			split := layer.InDim() - n.AuxDim
 			for r := 0; r < c.batch; r++ {

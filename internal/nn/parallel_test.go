@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"miras/internal/mat"
+	"miras/internal/parallel"
+)
+
+// TestBatchPassesBitIdenticalAcrossWorkers runs a full forward+backward
+// minibatch pass under several parallel worker bounds and requires the
+// outputs and accumulated gradients to be byte-for-byte identical — the
+// end-to-end version of the mat package's kernel-level determinism test,
+// covering the fused bias+activation epilogue on pool workers.
+func TestBatchPassesBitIdenticalAcrossWorkers(t *testing.T) {
+	defer parallel.SetMaxWorkers(0)
+	rng := rand.New(rand.NewSource(31))
+	net := NewNetwork(Config{Sizes: []int{12, 64, 64, 5}, Hidden: Tanh{}, Output: Softmax{}, AuxLayer: -1}, rng)
+	const batch = 48
+	x := mat.New(batch, 12)
+	dOut := mat.New(batch, 5)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range dOut.Data {
+		dOut.Data[i] = rng.NormFloat64()
+	}
+
+	type result struct {
+		out   []float64
+		grads *Grads
+	}
+	results := map[int]result{}
+	for _, w := range []int{1, 2, 7, runtime.GOMAXPROCS(0)} {
+		parallel.SetMaxWorkers(w)
+		c := NewBatchCache(net, batch)
+		g := NewGrads(net)
+		out := net.ForwardBatch(c, x, nil)
+		net.BackwardBatch(c, dOut, g)
+		results[w] = result{out: append([]float64(nil), out.Data...), grads: g}
+	}
+
+	var ref result
+	refW := 0
+	for w, res := range results {
+		if ref.out == nil {
+			ref, refW = res, w
+			continue
+		}
+		for i, v := range res.out {
+			if v != ref.out[i] {
+				t.Fatalf("output entry %d differs between %d and %d workers", i, refW, w)
+			}
+		}
+		for l := range ref.grads.W {
+			for i, v := range res.grads.W[l].Data {
+				if v != ref.grads.W[l].Data[i] {
+					t.Fatalf("dW[%d] entry %d differs between %d and %d workers", l, i, refW, w)
+				}
+			}
+			for i, v := range res.grads.B[l] {
+				if v != ref.grads.B[l][i] {
+					t.Fatalf("dB[%d] entry %d differs between %d and %d workers", l, i, refW, w)
+				}
+			}
+		}
+	}
+}

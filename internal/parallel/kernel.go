@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the hot-path counterpart of For: a persistent fork-join
+// pool for compute kernels (tiled GEMM, rank-k updates) that must dispatch
+// with zero allocations. For spawns goroutines per call, which is fine for
+// experiment-sized work items but would put closure and goroutine setup on
+// every matrix multiply; Kernel instead parks long-lived workers on a
+// channel and hands them an index-addressed tile range through a reusable
+// descriptor.
+//
+// The determinism discipline matches For: tiles are independent and
+// index-addressed, every tile writes only tile-owned output, so scheduling
+// order (and therefore the worker count) cannot leak into results. A
+// Kernel run is bit-for-bit the sequential loop `for t := 0..tiles-1 {
+// r.RunTile(t) }`, which the mat package's property tests pin across
+// worker counts.
+
+// TileRunner is a unit of kernel work addressed by tile index. RunTile(t)
+// must confine its writes to data owned by tile t.
+type TileRunner interface {
+	RunTile(t int)
+}
+
+// kernelPool is the process-wide fork-join pool. Exactly one kernel runs
+// on the pool at a time (mu); overlapping launches — concurrent GEMMs from
+// parallel experiment workers, or a nested kernel issued from inside a
+// tile — fall back to inline sequential execution, which keeps the pool
+// deadlock-free and avoids oversubscribing cores that are already busy
+// with outer-level parallelism.
+type kernelPool struct {
+	mu sync.Mutex // held for the duration of one parallel launch
+
+	// Launch descriptor, written by the launcher before waking workers
+	// (the channel send publishes it) and never touched by workers after
+	// their wg.Done.
+	runner TileRunner
+	tiles  int64
+	next   atomic.Int64
+	wg     sync.WaitGroup
+
+	// wake carries one token per helper worker drafted into the current
+	// launch. Workers park on it between launches.
+	wake chan struct{}
+
+	spawnMu sync.Mutex
+	spawned int
+}
+
+var pool = &kernelPool{wake: make(chan struct{})}
+
+// worker loops forever: park until drafted, steal tiles until the counter
+// runs out, report done, park again.
+func (p *kernelPool) worker() {
+	for range p.wake {
+		n := p.tiles
+		r := p.runner
+		for {
+			t := p.next.Add(1)
+			if t >= n {
+				break
+			}
+			r.RunTile(int(t))
+		}
+		p.wg.Done()
+	}
+}
+
+// ensure guarantees at least n parked-or-busy helper workers exist.
+func (p *kernelPool) ensure(n int) {
+	if n <= 0 {
+		return
+	}
+	p.spawnMu.Lock()
+	for p.spawned < n {
+		go p.worker()
+		p.spawned++
+	}
+	p.spawnMu.Unlock()
+}
+
+// Kernel runs r.RunTile(0) … r.RunTile(tiles−1), fanning tiles across
+// MaxWorkers() goroutines (the caller participates), and returns when all
+// tiles are done. Results are bit-identical to calling the tiles
+// sequentially in ascending order, for any worker count. The fast paths —
+// one tile, one worker, or a pool already busy with another launch — run
+// the tiles inline on the caller's goroutine. Steady-state dispatch
+// performs no allocations.
+func Kernel(tiles int, r TileRunner) {
+	if tiles <= 0 {
+		return
+	}
+	workers := MaxWorkers()
+	if workers > tiles {
+		workers = tiles
+	}
+	if workers <= 1 || !pool.mu.TryLock() {
+		for t := 0; t < tiles; t++ {
+			r.RunTile(t)
+		}
+		return
+	}
+	defer pool.mu.Unlock()
+	helpers := workers - 1
+	pool.ensure(helpers)
+	pool.runner = r
+	pool.tiles = int64(tiles)
+	pool.next.Store(-1)
+	pool.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		pool.wake <- struct{}{}
+	}
+	for {
+		t := pool.next.Add(1)
+		if t >= int64(tiles) {
+			break
+		}
+		r.RunTile(int(t))
+	}
+	pool.wg.Wait()
+	pool.runner = nil
+}

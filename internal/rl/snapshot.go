@@ -101,14 +101,41 @@ func LoadPolicySnapshot(path string) (*PolicySnapshot, error) {
 	return &s, nil
 }
 
+// PolicyScratch holds the preallocated working memory for one caller's
+// repeated ActTo evaluations of a snapshot: the normalised-input buffer and
+// a forward cache shaped for the actor. A scratch is not safe for
+// concurrent use, but independent scratches evaluate the same snapshot
+// concurrently without coordination — the snapshot itself is read-only.
+type PolicyScratch struct {
+	x     []float64
+	cache *nn.Cache
+}
+
+// NewScratch allocates working memory for evaluating this snapshot via
+// ActTo.
+func (s *PolicySnapshot) NewScratch() *PolicyScratch {
+	return &PolicyScratch{
+		x:     make([]float64, s.Actor.InDim()),
+		cache: nn.NewCache(s.Actor),
+	}
+}
+
 // Act runs the frozen policy on a raw state and returns the simplex
 // action, exactly as the live agent's Act would have.
 func (s *PolicySnapshot) Act(state []float64) []float64 {
+	return mat.VecClone(s.ActTo(s.NewScratch(), state))
+}
+
+// ActTo is Act computing entirely in sc — zero allocations in steady state.
+// The returned action aliases sc and is valid until the next ActTo with the
+// same scratch. Results are bit-identical to Act: both run the same
+// log-compression, normalisation, and forward pass.
+func (s *PolicySnapshot) ActTo(sc *PolicyScratch, state []float64) []float64 {
 	dim := s.Actor.InDim()
 	if len(state) != dim {
 		panic(fmt.Sprintf("rl: snapshot state width %d != %d", len(state), dim))
 	}
-	x := make([]float64, dim)
+	x := sc.x
 	logCompress(x, state)
 	if s.NormCount >= 2 {
 		for i := range x {
@@ -119,5 +146,5 @@ func (s *PolicySnapshot) Act(state []float64) []float64 {
 			x[i] = (x[i] - s.NormMean[i]) / std
 		}
 	}
-	return s.Actor.Forward(x, nil)
+	return s.Actor.ForwardCache(sc.cache, x, nil)
 }

@@ -128,3 +128,29 @@ func TestSnapshotActPanicsOnWrongWidth(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// TestActToMatchesActZeroAlloc checks the scratch-based serving path is
+// bit-identical to Act and allocation-free once the scratch is warm.
+func TestActToMatchesActZeroAlloc(t *testing.T) {
+	d := trainedAgentForSnapshot(t)
+	snap := d.Snapshot()
+	sc := snap.NewScratch()
+	states := [][]float64{
+		{0, 0, 0},
+		{50, 5, 0.5},
+		{1000, 100, 10},
+	}
+	for _, s := range states {
+		want := snap.Act(s)
+		got := snap.ActTo(sc, s)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ActTo diverges from Act at %v: %v vs %v", s, got, want)
+			}
+		}
+	}
+	state := states[1]
+	if allocs := testing.AllocsPerRun(100, func() { snap.ActTo(sc, state) }); allocs != 0 {
+		t.Fatalf("ActTo: %v allocs/run, want 0", allocs)
+	}
+}

@@ -3,24 +3,43 @@
 # BENCH_<date>.json in the repo root (plus the raw `go test` text next to
 # it), so perf changes land with machine-readable before/after evidence.
 #
-# Usage: scripts/bench.sh [bench-regex] [benchtime]
+# Usage: scripts/bench.sh [bench-regex] [benchtime] [gomaxprocs-list]
 #   bench-regex defaults to the substrate micro-benchmarks; pass '.' to run
 #   every benchmark (the figure-level ones take minutes).
+#
+# Each benchmark runs once per GOMAXPROCS value in the gomaxprocs list (the
+# third argument, or the MIRAS_GOMAXPROCS environment variable — a
+# comma-separated go-test -cpu list, default "1,<nproc>"), so every record
+# carries a serial row and a parallel row; go bench suffixes the parallel
+# rows with "-<procs>". Pass 1 to skip the parallel pass entirely.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PATTERN="${1:-BenchmarkMatMulBlocked|BenchmarkNNForward$|BenchmarkNNBackward$|BenchmarkNNForwardBatch|BenchmarkNNBackwardBatch|BenchmarkDDPGUpdate|BenchmarkEnvModelPredict|BenchmarkEnvModelFit}"
 BENCHTIME="${2:-1s}"
+NPROC="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+CPUS="${3:-${MIRAS_GOMAXPROCS:-}}"
+if [ -z "$CPUS" ]; then
+    if [ "$NPROC" -gt 1 ]; then
+        CPUS="1,${NPROC}"
+    else
+        # Single-core host: GOMAXPROCS=2 cannot speed anything up, but it
+        # still drives the parallel dispatch path, so the record keeps a
+        # serial/parallel pair.
+        CPUS="1,2"
+    fi
+fi
 DATE="$(date +%Y%m%d)"
 RAW="BENCH_${DATE}.txt"
 JSON="BENCH_${DATE}.json"
 
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -cpu "$CPUS" . | tee "$RAW"
 
 # Convert the standard benchmark lines into a JSON array. Fields beyond the
 # canonical ns/op, B/op, allocs/op (e.g. MB/s, custom ReportMetric units)
-# are kept as extra key/value pairs.
+# are kept as extra key/value pairs. Parallel rows keep their "-<procs>"
+# name suffix.
 awk '
 BEGIN { print "[" ; first = 1 }
 /^Benchmark/ {
@@ -38,4 +57,4 @@ BEGIN { print "[" ; first = 1 }
 END { print "\n]" }
 ' "$RAW" >"$JSON"
 
-echo "wrote $RAW and $JSON"
+echo "wrote $RAW and $JSON (cpu list: $CPUS)"
