@@ -36,6 +36,7 @@ bench-smoke:
 	$(GO) test -run 'TestKernelDispatchZeroAlloc' -count 1 ./internal/parallel/
 	$(GO) test -run 'TestPolicyDecideZeroAlloc' -count 1 ./internal/httpapi/
 	$(GO) test -run 'TestActToMatchesActZeroAlloc' -count 1 ./internal/rl/
+	$(GO) test -run 'TestTracerDisabledZeroAlloc' -count 1 ./internal/obs/
 
 fmt:
 	gofmt -l -w .

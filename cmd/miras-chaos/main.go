@@ -70,6 +70,11 @@ func run() error {
 	}
 	defer rec.Close()
 	s.Recorder = rec
+	if rec != nil {
+		s.Tracer = obs.NewTracer(obs.TracerConfig{
+			Recorder: rec, SimTime: true, Debug: *logLevel == "debug",
+		})
+	}
 
 	algs := splitAlgorithms(*algorithms)
 	var trained *experiments.Trained

@@ -59,6 +59,11 @@ func run() error {
 	}
 	defer rec.Close()
 	s.Recorder = rec
+	if rec != nil {
+		s.Tracer = obs.NewTracer(obs.TracerConfig{
+			Recorder: rec, SimTime: true, Debug: *logLevel == "debug",
+		})
+	}
 	if *iterations > 0 {
 		s.Iterations = *iterations
 	}

@@ -10,9 +10,12 @@
 //
 // Operational endpoints (see README "Observability"):
 //
-//	GET /metrics        Prometheus text-format metrics
-//	GET /healthz        liveness probe
-//	    /debug/pprof/*  runtime profiling
+//	GET /metrics              Prometheus text-format metrics
+//	GET /healthz              liveness probe
+//	    /debug/pprof/*        runtime profiling
+//	GET /v1/debug/traces      recent request spans (JSON)
+//	GET /v1/debug/timeseries  sampled metrics window (JSON)
+//	GET /debug/dash           HTML+SVG sparkline dashboard
 //
 // The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests up to -shutdown-timeout.
@@ -49,12 +52,52 @@ func run() error {
 		"request body size cap; oversized bodies get 413 body_too_large (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second,
 		"per-request API deadline; slower requests get 408 request_timeout (0 disables)")
+	traceOut := flag.String("trace-out", "", "optional JSONL file receiving span records for every request")
+	logLevel := flag.String("log-level", "info", "trace verbosity: debug or info")
+	profileDir := flag.String("profile-dir", "",
+		"directory for anomaly-triggered pprof captures (slow requests, HPA fallbacks; empty disables)")
+	sampleInterval := flag.Duration("sample-interval", 5*time.Second,
+		"metrics sampling period for /v1/debug/timeseries and /debug/dash")
+	slowRequest := flag.Duration("slow-request", 10*time.Second,
+		"wall-clock span duration that counts as an anomaly and triggers a profile capture (0 disables)")
 	flag.Parse()
+
+	rec, err := obs.FileRecorder(*traceOut, *logLevel)
+	if err != nil {
+		return err
+	}
+	defer rec.Close()
+
+	var prof *obs.ProfileCapturer
+	if *profileDir != "" {
+		prof, err = obs.NewProfileCapturer(obs.ProfileConfig{Dir: *profileDir, Recorder: rec})
+		if err != nil {
+			return err
+		}
+		defer prof.Wait()
+	}
+
+	// Requests are real events, so the serving tracer runs in wall-clock
+	// mode (unlike the sim-time experiment tracers). Spans land in the ring
+	// behind GET /v1/debug/traces and, with -trace-out, in the JSONL file.
+	tracer := obs.NewTracer(obs.TracerConfig{
+		Recorder: rec,
+		Ring:     obs.NewSpanRing(4096),
+		Debug:    *logLevel == "debug",
+		SlowWall: *slowRequest,
+		OnAnomaly: func(span string, wall time.Duration) {
+			prof.Trigger("slow_span_" + span)
+		},
+	})
+	tsRing := obs.NewTimeSeriesRing(360)
 
 	srv := httpapi.NewServer(
 		httpapi.WithMaxSessions(*maxSessions),
 		httpapi.WithMaxBodyBytes(*maxBodyBytes),
 		httpapi.WithRequestTimeout(*requestTimeout),
+		httpapi.WithTracer(tracer),
+		httpapi.WithProfiler(prof),
+		httpapi.WithTimeSeries(tsRing),
 	)
 	obs.RegisterProcessMetrics(srv.Registry())
 
@@ -77,9 +120,11 @@ func run() error {
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	go tsRing.Run(ctx, srv.Registry(), *sampleInterval)
+
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.ListenAndServe() }()
-	fmt.Printf("miras-server listening on %s (/metrics, /healthz, /debug/pprof/)\n", *addr)
+	fmt.Printf("miras-server listening on %s (/metrics, /healthz, /debug/pprof/, /debug/dash)\n", *addr)
 
 	select {
 	case err := <-errc:

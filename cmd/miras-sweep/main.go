@@ -54,6 +54,11 @@ func run() error {
 	}
 	defer rec.Close()
 	s.Recorder = rec
+	if rec != nil {
+		s.Tracer = obs.NewTracer(obs.TracerConfig{
+			Recorder: rec, SimTime: true, Debug: *logLevel == "debug",
+		})
+	}
 	switch *study {
 	case "budget":
 		bs, err := parseInts(*budgets)

@@ -43,6 +43,7 @@ func run() error {
 	traceOut := flag.String("trace-out", "", "optional JSONL trace file for structured training telemetry")
 	logLevel := flag.String("log-level", "info", "trace verbosity: debug or info (debug adds per-epoch and per-update events)")
 	selfCheck := flag.Bool("selfcheck", false, "run the determinism self-check (two identically seeded short runs must produce identical digests) and exit")
+	profileDir := flag.String("profile-dir", "", "directory for anomaly-triggered pprof captures (empty disables)")
 	checkpointDir := flag.String("checkpoint-dir", "", "directory for per-iteration training checkpoints (empty disables)")
 	checkpointKeep := flag.Int("checkpoint-keep", 0, "checkpoint files to retain (0 keeps the store default)")
 	resume := flag.Bool("resume", false, "continue from the newest checkpoint in -checkpoint-dir")
@@ -76,6 +77,21 @@ func run() error {
 	}
 	defer rec.Close()
 	s.Recorder = rec
+	if rec != nil {
+		// Spans ride the same JSONL sink as events. Sim-time mode keeps the
+		// seeded trace byte-identical across runs.
+		s.Tracer = obs.NewTracer(obs.TracerConfig{
+			Recorder: rec, SimTime: true, Debug: *logLevel == "debug",
+		})
+	}
+	if *profileDir != "" {
+		prof, err := obs.NewProfileCapturer(obs.ProfileConfig{Dir: *profileDir, Recorder: rec})
+		if err != nil {
+			return err
+		}
+		defer prof.Wait()
+		s.Profiler = prof
+	}
 	fmt.Printf("Fig. 6 MIRAS training: ensemble=%s scale=%s (%d iterations × %d real steps)\n",
 		s.EnsembleName, *scale, s.Iterations, s.StepsPerIteration)
 

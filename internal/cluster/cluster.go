@@ -56,6 +56,11 @@ type Config struct {
 	// with realised startup delays (debug). Nil disables all telemetry at
 	// zero cost.
 	Recorder *obs.Recorder
+	// Tracer, when non-nil, emits one "cluster.scale" marker span per
+	// SetConsumers actuation and one "fault.episode" span per injected
+	// fault window (opened at activation, closed at deactivation). Nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -522,6 +527,11 @@ func (c *Cluster) SetConsumers(target []int) error {
 			Int("inflight", c.inFlight).
 			Emit()
 	}
+	// The actuation is instantaneous in virtual time; the span is a
+	// zero-duration marker carrying the decision, parented under whatever
+	// window span is ambient.
+	now := float64(c.engine.Now())
+	c.cfg.Tracer.Start("cluster.scale").T0(now).Int("inflight", c.inFlight).EndT(now)
 	return nil
 }
 

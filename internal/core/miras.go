@@ -116,6 +116,16 @@ type Config struct {
 	// Metrics, when non-nil, receives the self-healing counters
 	// miras_controller_rollback_total.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, emits one span per outer iteration with child
+	// spans for the collect / model-fit / policy-improvement / health-guard
+	// / evaluate / checkpoint phases, propagated into the components (model
+	// fit epochs, DDPG updates, env windows). Nil disables tracing at zero
+	// cost.
+	Tracer *obs.Tracer
+	// Profiler, when non-nil, captures a pprof profile when the health
+	// guard rolls the learner back — the anomaly is profiled at the moment
+	// it is detected, not when someone reproduces it.
+	Profiler *obs.ProfileCapturer
 }
 
 func (c Config) withDefaults() Config {
@@ -259,6 +269,8 @@ func newAgent(cfg Config) (*Agent, error) {
 	}
 	model.SetRecorder(cfg.Recorder, "model")
 	ddpg.SetRecorder(cfg.Recorder)
+	model.SetTracer(cfg.Tracer)
+	ddpg.SetTracer(cfg.Tracer)
 	src := sim.NewSplitMix(uint64(cfg.Seed + 3))
 	return &Agent{
 		cfg:     cfg,
@@ -485,23 +497,40 @@ func (a *Agent) Train() ([]IterationStats, error) {
 		if a.cfg.StopFn != nil && a.cfg.StopFn() {
 			return stats, ErrStopped
 		}
+		// One span per Algorithm 2 outer iteration; the phase spans below
+		// (and the env-window / model-epoch / DDPG-update spans inside the
+		// components) parent under it via the tracer's ambient parent.
+		iterSpan := a.cfg.Tracer.Start("train.iteration").Int("iteration", iter)
+		restoreParent := a.cfg.Tracer.SetParent(iterSpan)
+		collectSpan := a.cfg.Tracer.Start("train.collect").Int("steps", a.cfg.StepsPerIteration)
 		if err := a.CollectReal(a.cfg.StepsPerIteration, iter == 0); err != nil {
+			restoreParent()
 			return stats, err
 		}
+		collectSpan.Int("dataset", a.dataset.Len()).End()
+		fitSpan := a.cfg.Tracer.Start("train.fit_model")
 		loss, err := a.FitModel()
 		if err != nil {
+			restoreParent()
 			return stats, err
 		}
+		fitSpan.F64("loss", loss).End()
+		improveSpan := a.cfg.Tracer.Start("train.improve_policy")
 		episodes, synthReturn, err := a.ImprovePolicy()
 		if err != nil {
+			restoreParent()
 			return stats, err
 		}
+		improveSpan.Int("episodes", episodes).F64("synthetic_return", synthReturn).End()
 		rolledBack := false
+		guardSpan := a.cfg.Tracer.Start("train.health_guard")
 		if herr := a.checkHealth(); herr != nil {
 			if err := a.ddpg.Restore(lastHealthy.agent); err != nil {
+				restoreParent()
 				return stats, fmt.Errorf("core: rollback after divergence (%v): %w", herr, err)
 			}
 			if err := a.model.Restore(lastHealthy.model); err != nil {
+				restoreParent()
 				return stats, fmt.Errorf("core: rollback after divergence (%v): %w", herr, err)
 			}
 			a.rollbacks++
@@ -513,13 +542,20 @@ func (a *Agent) Train() ([]IterationStats, error) {
 			if ev := a.cfg.Recorder.Event("rollback"); ev != nil {
 				ev.Int("iteration", iter).Str("cause", herr.Error()).Emit()
 			}
+			guardSpan.Bool("rolled_back", true).Str("cause", herr.Error())
+			a.cfg.Profiler.Trigger("divergence_rollback")
 		} else {
 			lastHealthy = a.captureHealthy()
+			guardSpan.Bool("rolled_back", false)
 		}
+		guardSpan.End()
+		evalSpan := a.cfg.Tracer.Start("train.evaluate")
 		evalReturn, err := a.Evaluate()
 		if err != nil {
+			restoreParent()
 			return stats, err
 		}
+		evalSpan.F64("eval_return", evalReturn).End()
 		if evalReturn > bestReturn {
 			bestReturn = evalReturn
 			bestActor = a.ddpg.Actor().Clone()
@@ -547,11 +583,16 @@ func (a *Agent) Train() ([]IterationStats, error) {
 				Emit()
 		}
 		if a.cfg.CheckpointFn != nil {
+			ckptSpan := a.cfg.Tracer.Start("train.checkpoint")
 			st := a.trainState(iter+1, stats, bestReturn, bestActor)
 			if err := a.cfg.CheckpointFn(iter, st); err != nil {
+				restoreParent()
 				return stats, fmt.Errorf("core: checkpoint after iteration %d: %w", iter, err)
 			}
+			ckptSpan.End()
 		}
+		restoreParent()
+		iterSpan.Bool("rolled_back", rolledBack).End()
 	}
 	if bestActor != nil {
 		a.ddpg.RestoreActorParams(bestActor)

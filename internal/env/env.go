@@ -45,6 +45,14 @@ type Config struct {
 	// window (action, end-of-window WIP, reward) and one per rejected
 	// action. Nil disables telemetry at zero cost.
 	Recorder *obs.Recorder
+	// Tracer, when non-nil, emits one "env.window" span per Step covering
+	// the virtual control window, with the cluster's scale actuation and
+	// any fault episodes activated inside the window parented under it.
+	// Step installs the span as the tracer's ambient parent for the
+	// window's duration, so a Tracer must not be shared by envs stepping
+	// concurrently (the HTTP server leaves session envs untraced for this
+	// reason). Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 	// FailureAware appends the cluster's per-microservice effective
 	// capacity (started consumers divided by any active slowdown factor)
 	// to the state vector, letting a policy observe fault degradation
@@ -273,11 +281,15 @@ func (e *Env) Step(m []int) (StepResult, error) {
 		return StepResult{}, fmt.Errorf("env: allocation total %d exceeds budget %d", total, e.cfg.Budget)
 	}
 	c := e.cfg.Cluster
+	winSpan := e.cfg.Tracer.Start("env.window").T0(c.Now()).Int("window", e.window)
+	restoreParent := e.cfg.Tracer.SetParent(winSpan)
 	if err := c.SetConsumers(m); err != nil {
+		restoreParent()
 		return StepResult{}, err
 	}
 	start := c.Now()
 	c.AdvanceTo(start + e.cfg.WindowSec)
+	restoreParent()
 	e.window++
 
 	// Window boundaries are the natural verification checkpoint: the engine
@@ -298,6 +310,7 @@ func (e *Env) Step(m []int) (StepResult, error) {
 		sum += w
 	}
 	res := StepResult{State: e.observe(wip), Reward: 1 - sum, Stats: stats}
+	winSpan.F64("reward", res.Reward).EndT(c.Now())
 	// One event per window: the (s, a, r) triple of §IV-B plus the
 	// delay observable the paper's evaluation plots (Fig. 6).
 	if ev := e.cfg.Recorder.Event("env_window"); ev != nil {

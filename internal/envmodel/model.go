@@ -84,6 +84,7 @@ type Model struct {
 
 	rec    *obs.Recorder
 	recTag string
+	tracer *obs.Tracer
 }
 
 // New builds an untrained model.
@@ -139,6 +140,10 @@ func (m *Model) SetRecorder(r *obs.Recorder, tag string) {
 	m.recTag = tag
 }
 
+// SetTracer attaches a span tracer; Fit then emits one "model.fit" span per
+// call (tagged like SetRecorder's events). A nil tracer costs nothing.
+func (m *Model) SetTracer(t *obs.Tracer) { m.tracer = t }
+
 // StateDim returns the model's state width.
 func (m *Model) StateDim() int { return m.cfg.StateDim }
 
@@ -167,6 +172,11 @@ func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
 		return nil, fmt.Errorf("envmodel: epochs must be positive, got %d", epochs)
 	}
 	m.fitNormalizers(d)
+
+	fitSpan := m.tracer.Start("model.fit").
+		Str("model", m.recTag).
+		Int("dataset", d.Len()).
+		Int("epochs", epochs)
 
 	batch := m.fitBatch
 	// outBuf doubles as the raw-target scratch: it is only live inside
@@ -214,6 +224,7 @@ func (m *Model) Fit(d *Dataset, epochs int) ([]float64, error) {
 			Emit()
 	}
 	m.lossBuf = losses
+	fitSpan.F64("final_loss", losses[len(losses)-1]).End()
 	return losses, nil
 }
 

@@ -35,6 +35,8 @@ func mirasConfig(s Setup, h *Harness) core.Config {
 		PolicyEpisodes:    s.PolicyEpisodes,
 		Seed:              s.Seed + 21,
 		Recorder:          s.Recorder,
+		Tracer:            s.Tracer,
+		Profiler:          s.Profiler,
 	}
 }
 

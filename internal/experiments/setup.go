@@ -70,6 +70,16 @@ type Setup struct {
 	// (model epochs, DDPG updates, Algorithm 2 iterations). The CLI tools
 	// populate it from -trace-out; nil disables telemetry at zero cost.
 	Recorder *obs.Recorder
+	// Tracer, when non-nil, threads causal spans through the same stack the
+	// Recorder covers: training iterations with phase children, env control
+	// windows, cluster scale actuations, fault episodes. BuildHarness
+	// points the tracer's clock at the harness engine so spans carry
+	// virtual timestamps; with SimTime set, seeded traces are
+	// byte-identical across runs. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
+	// Profiler, when non-nil, captures pprof profiles when training
+	// anomalies fire (divergence rollbacks).
+	Profiler *obs.ProfileCapturer
 }
 
 // PaperSetup returns the paper-faithful configuration for "msd" or "ligo"
@@ -244,6 +254,7 @@ func BuildHarness(s Setup, seedOffset int64, copts ...cluster.Option) (*Harness,
 		Engine:   engine,
 		Streams:  streams,
 		Recorder: s.Recorder,
+		Tracer:   s.Tracer,
 	}, copts...)
 	if err != nil {
 		return nil, err
@@ -263,9 +274,14 @@ func BuildHarness(s Setup, seedOffset int64, copts ...cluster.Option) (*Harness,
 		WindowSec: s.WindowSec,
 		Budget:    s.Budget,
 		Recorder:  s.Recorder,
+		Tracer:    s.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Spans minted while this harness runs carry its virtual time. Setups
+	// build harnesses sequentially (training, then evaluation), so pointing
+	// the shared tracer at the newest engine is safe.
+	s.Tracer.SetClock(func() float64 { return float64(engine.Now()) })
 	return &Harness{Engine: engine, Streams: streams, Cluster: c, Generator: gen, Env: e}, nil
 }

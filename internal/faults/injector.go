@@ -41,6 +41,11 @@ type Injector struct {
 	streams *sim.Streams
 	target  Target
 	rec     *obs.Recorder
+	tracer  *obs.Tracer
+	// spans holds the open "fault.episode" span per active fault id; nil
+	// entries never occur (a nil tracer yields nil spans, which are not
+	// stored).
+	spans map[int]*obs.Span
 
 	// faultsTotal counts injected fault events (episode activations and
 	// individual crashes); crashed counts consumers actually killed. Both
@@ -62,6 +67,13 @@ type Option func(*Injector)
 // consumer_crash) to rec.
 func WithRecorder(rec *obs.Recorder) Option {
 	return func(in *Injector) { in.rec = rec }
+}
+
+// WithTracer emits one "fault.episode" span per fault window: opened at
+// activation, closed at deactivation, carrying the spec's kind / service /
+// factor. A nil tracer disables fault spans at zero cost.
+func WithTracer(t *obs.Tracer) Option {
+	return func(in *Injector) { in.tracer = t }
 }
 
 // WithCounters wires the miras_faults_total / miras_consumers_crashed
@@ -290,6 +302,17 @@ func (in *Injector) activate(id int, sp Spec, untilSec float64) {
 		F64("factor", sp.Factor).
 		F64("until", untilSec).
 		Emit()
+	if span := in.tracer.Start("fault.episode").
+		T0(in.engine.Now()).
+		Int("fault", id).
+		Str("kind", string(sp.Kind)).
+		Int("service", sp.Service).
+		F64("factor", sp.Factor); span != nil {
+		if in.spans == nil {
+			in.spans = make(map[int]*obs.Span)
+		}
+		in.spans[id] = span
+	}
 }
 
 func (in *Injector) deactivate(id int) {
@@ -301,6 +324,10 @@ func (in *Injector) deactivate(id int) {
 		T(in.engine.Now()).
 		Int("fault", id).
 		Emit()
+	if span, ok := in.spans[id]; ok {
+		delete(in.spans, id)
+		span.EndT(in.engine.Now())
+	}
 }
 
 func (in *Injector) count(c *obs.Counter) {

@@ -19,6 +19,7 @@ import (
 	"miras/internal/baselines"
 	"miras/internal/env"
 	"miras/internal/faults"
+	"miras/internal/obs"
 	"miras/internal/rl"
 )
 
@@ -110,6 +111,9 @@ func (sess *session) decideAuto() ([]int, string, error) {
 		sess.fallback = baselines.NewHPA(sess.env.Budget())
 		sess.healthyProbes = 0
 		sess.fallbackTotal.Inc()
+		// A serving policy just failed in production terms — capture a
+		// profile of the moment (rate-limited; nil-safe when disabled).
+		sess.profiler.Trigger("hpa_fallback")
 		return sess.fallback.Decide(prev), "hpa", nil
 	}
 	// Degraded: HPA serves this window; shadow-probe the sidelined policy
@@ -239,6 +243,9 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	span := obs.SpanFromContext(r.Context()).Child("session.restore").
+		Str("session", sess.id).Int("ops", len(snap.Ops))
+	defer span.End()
 	req := snap.Create
 	if req.Seed == 0 {
 		req.Seed = 1

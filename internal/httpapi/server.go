@@ -95,7 +95,20 @@ type Server struct {
 	// obs.MountDebug.
 	reg *obs.Registry
 	// rec, when set, receives every session's simulation events.
-	rec          *obs.Recorder
+	rec *obs.Recorder
+	// tracer, when set, emits one root span per request — joining an
+	// incoming W3C traceparent header when present — with child spans for
+	// the session work (decide / step / restore). The response carries a
+	// traceparent header so clients can correlate. The tracer's ring, if
+	// any, is mounted at GET /v1/debug/traces.
+	tracer *obs.Tracer
+	// profiler, when set, captures a pprof profile whenever a session
+	// degrades to the HPA fallback (an anomaly worth a flight recording).
+	profiler *obs.ProfileCapturer
+	// tsRing, when set, is served at GET /v1/debug/timeseries (JSON) and
+	// GET /debug/dash (HTML sparklines). The server does not sample into
+	// it; run obs.TimeSeriesRing.Run against Registry() for that.
+	tsRing       *obs.TimeSeriesRing
 	sessionsLive *obs.Gauge
 	windowsTotal *obs.Counter
 
@@ -123,6 +136,27 @@ func WithRegistry(reg *obs.Registry) Option {
 // consumer lifecycle, fault injections) to rec.
 func WithRecorder(rec *obs.Recorder) Option {
 	return func(s *Server) { s.rec = rec }
+}
+
+// WithTracer emits request-scoped spans: a root span per request (joining
+// an incoming traceparent) plus children for decide/step/restore, tagged
+// with the session id so DELETE can evict them from the tracer's ring.
+// Use a wall-clock tracer here, not a sim-time one — requests are real
+// events; session environments themselves stay untraced.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(s *Server) { s.tracer = tr }
+}
+
+// WithProfiler captures an anomaly profile when a session's policy fails
+// and the session degrades to the HPA fallback.
+func WithProfiler(p *obs.ProfileCapturer) Option {
+	return func(s *Server) { s.profiler = p }
+}
+
+// WithTimeSeries mounts ts at GET /v1/debug/timeseries and /debug/dash.
+// The caller owns sampling (obs.TimeSeriesRing.Run over Registry()).
+func WithTimeSeries(ts *obs.TimeSeriesRing) Option {
+	return func(s *Server) { s.tsRing = ts }
 }
 
 // WithMaxBodyBytes caps request-body size; oversized bodies are rejected
@@ -173,6 +207,10 @@ type session struct {
 	prev     env.StepResult
 	havePrev bool
 
+	// profiler (shared, server-owned, nil when disabled) records an
+	// anomaly profile when this session falls back to HPA.
+	profiler *obs.ProfileCapturer
+
 	// Per-session metrics, removed from the registry on DELETE.
 	wip            *obs.Gauge
 	inflight       *obs.Gauge
@@ -222,6 +260,13 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/sessions/{id}/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	mux.Handle("POST /v1/sessions/{id}/restore", s.instrument("restore", s.handleRestore))
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
+	if ring := s.tracer.Ring(); ring != nil {
+		mux.Handle("GET /v1/debug/traces", ring.Handler())
+	}
+	if s.tsRing != nil {
+		mux.Handle("GET /v1/debug/timeseries", s.tsRing.Handler())
+		mux.Handle("GET /debug/dash", s.tsRing.DashHandler())
+	}
 	var h http.Handler = mux
 	if s.maxBodyBytes > 0 {
 		h = maxBodyMiddleware(s.maxBodyBytes, h)
@@ -244,7 +289,16 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		span := s.tracer.StartRemote("http."+endpoint, r.Header.Get("traceparent")).
+			Str("endpoint", endpoint)
+		if tp := span.Traceparent(); tp != "" {
+			// The response header must land before the handler writes the
+			// status line; spans carry ids from birth, so this is safe.
+			sw.Header().Set("traceparent", tp)
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), span))
+		}
 		h(sw, r)
+		span.Int("status", sw.status).End()
 		reqs.Inc()
 		if sw.status >= 400 {
 			errs.Inc()
@@ -463,6 +517,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		env:         e,
 		generator:   gen,
 		create:      req,
+		profiler:    s.profiler,
 		faultsTotal: faultsTotal,
 		crashed:     crashed,
 	}
@@ -547,21 +602,28 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	root := obs.SpanFromContext(r.Context())
 	alloc := req.Allocation
 	controller := ""
 	if alloc == nil {
+		decideSpan := root.Child("session.decide").Str("session", sess.id)
 		var err error
 		alloc, controller, err = sess.decideAuto()
+		decideSpan.Str("controller", controller).End()
 		if err != nil {
 			writeError(w, http.StatusConflict, CodeBadPolicy, err)
 			return
 		}
 	}
+	stepSpan := root.Child("session.step").Str("session", sess.id).
+		Int("window", sess.windows)
 	res, err := sess.env.Step(alloc)
 	if err != nil {
+		stepSpan.Bool("error", true).End()
 		writeError(w, http.StatusUnprocessableEntity, CodeBadAllocation, err)
 		return
 	}
+	stepSpan.F64("reward", res.Reward).End()
 	sess.windows++
 	sess.prev = res
 	sess.havePrev = true
@@ -661,6 +723,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.reg.Remove("miras_consumers_crashed", "session", id)
 	s.reg.Remove("miras_controller_fallback_total", "session", id)
 	s.reg.Remove("miras_controller_recovered_total", "session", id)
+	// Evict the session's spans from the trace ring; the time-series ring
+	// prunes its removed registry series on its next sample.
+	s.tracer.Ring().DropSession(id)
 	s.sessionsLive.Set(float64(len(s.sessions)))
 	w.WriteHeader(http.StatusNoContent)
 }

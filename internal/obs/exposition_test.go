@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionEdgeCasesGolden pins the exposition corners a scraper is
+// most likely to choke on: help-text escaping, label-value escaping
+// (including an empty value), the implicit +Inf histogram bucket with an
+// infinite observation, and non-finite / exponent-formatted sample values.
+func TestExpositionEdgeCasesGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("edge_help", "Backslash C:\\tmp\nsecond line.").Set(1)
+
+	h := r.Histogram("edge_hist", "Hist.", []float64{0.5})
+	h.Observe(0.25)
+	h.Observe(math.Inf(1)) // lands in the implicit +Inf bucket, sum goes +Inf
+
+	r.Counter("edge_labels_total", "", "path", "a\"b\\c\nd", "q", "").Inc()
+
+	r.Gauge("edge_values", "", "kind", "exp").Set(1e6)
+	r.Gauge("edge_values", "", "kind", "nan").Set(math.NaN())
+	r.Gauge("edge_values", "", "kind", "neginf").Set(math.Inf(-1))
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP edge_help Backslash C:\\tmp\nsecond line.
+# TYPE edge_help gauge
+edge_help 1
+# HELP edge_hist Hist.
+# TYPE edge_hist histogram
+edge_hist_bucket{le="0.5"} 1
+edge_hist_bucket{le="+Inf"} 2
+edge_hist_sum +Inf
+edge_hist_count 2
+# TYPE edge_labels_total counter
+edge_labels_total{path="a\"b\\c\nd",q=""} 1
+# TYPE edge_values gauge
+edge_values{kind="exp"} 1e+06
+edge_values{kind="nan"} NaN
+edge_values{kind="neginf"} -Inf
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition edge cases mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
 	"time"
 )
 
@@ -48,4 +49,32 @@ func RegisterProcessMetrics(reg *Registry) {
 			runtime.ReadMemStats(&ms)
 			return float64(ms.NumGC)
 		})
+	reg.GaugeFunc("process_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.PauseTotalNs) / 1e9
+		})
+	reg.GaugeFunc("process_gomaxprocs", "Value of GOMAXPROCS.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.Gauge("miras_build_info", "Build information; value is always 1.",
+		"go_version", runtime.Version(), "revision", buildRevision()).Set(1)
+}
+
+// buildRevision extracts the VCS revision stamped into the binary, or
+// "unknown" for test binaries and unstamped builds.
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return "unknown"
 }

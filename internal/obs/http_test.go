@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		"process_goroutines ",
+		"process_uptime_seconds ",
+		"process_heap_alloc_bytes ",
+		"process_gc_cycles_total ",
+		"process_gc_pause_seconds_total ",
+		"process_gomaxprocs ",
+		`miras_build_info{go_version="go`,
+		`revision="`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("process metrics missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "} 1\n") {
+		t.Fatalf("miras_build_info value not 1:\n%s", body)
+	}
+}

@@ -1,0 +1,238 @@
+// Anomaly-triggered profiling: when something goes wrong — a divergence
+// rollback, an HPA fallback, a span blowing past its latency threshold —
+// the ProfileCapturer writes pprof heap (and optionally CPU) profiles into
+// a size-capped directory, so the evidence exists before anyone tries to
+// reproduce the incident. Captures are rate-limited and bounded; a nil
+// capturer is a no-op, mirroring the nil Recorder/Tracer discipline.
+
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfileConfig configures a ProfileCapturer.
+type ProfileConfig struct {
+	// Dir is the directory captures are written into (created if missing).
+	Dir string
+	// MinInterval is the minimum gap between captures; triggers arriving
+	// sooner are dropped (counted in Dropped). Default 30s.
+	MinInterval time.Duration
+	// MaxDirBytes caps the total size of capture files in Dir; the oldest
+	// captures are deleted to make room. Default 32 MiB.
+	MaxDirBytes int64
+	// CPUDuration is how long to run the CPU profiler per capture.
+	// Zero disables CPU capture (heap only) — tests use this to stay fast
+	// and to avoid fighting over the process-wide CPU profiler.
+	CPUDuration time.Duration
+	// Recorder, if set, gets a "profile_capture" event per capture.
+	Recorder *Recorder
+}
+
+// ProfileCapturer writes rate-limited pprof captures on anomaly triggers.
+// All methods are safe on a nil receiver and safe for concurrent use.
+type ProfileCapturer struct {
+	cfg ProfileConfig
+	now func() time.Time // injectable for rate-limit tests
+
+	mu       sync.Mutex
+	last     time.Time
+	seq      uint64
+	captures uint64
+	dropped  uint64
+	cpuWG    sync.WaitGroup
+}
+
+// NewProfileCapturer returns a capturer writing into cfg.Dir, creating the
+// directory eagerly so a misconfigured path fails at startup, not at the
+// first incident.
+func NewProfileCapturer(cfg ProfileConfig) (*ProfileCapturer, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("obs: profile dir is empty")
+	}
+	if cfg.MinInterval <= 0 {
+		cfg.MinInterval = 30 * time.Second
+	}
+	if cfg.MaxDirBytes <= 0 {
+		cfg.MaxDirBytes = 32 << 20
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	return &ProfileCapturer{cfg: cfg, now: time.Now}, nil
+}
+
+// setNow swaps the clock used for rate limiting and file naming (tests).
+func (p *ProfileCapturer) setNow(fn func() time.Time) { p.now = fn }
+
+// Captures returns how many captures have been written.
+func (p *ProfileCapturer) Captures() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.captures
+}
+
+// Dropped returns how many triggers were dropped by the rate limit.
+func (p *ProfileCapturer) Dropped() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Trigger captures profiles for the named anomaly (e.g.
+// "divergence_rollback", "hpa_fallback", "slow_span"). The heap profile is
+// written synchronously; the CPU profile (if configured) runs in a
+// background goroutine for cfg.CPUDuration. Returns true if a capture
+// started, false if it was rate-limited or the receiver is nil.
+func (p *ProfileCapturer) Trigger(reason string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	now := p.now()
+	if !p.last.IsZero() && now.Sub(p.last) < p.cfg.MinInterval {
+		p.dropped++
+		p.mu.Unlock()
+		return false
+	}
+	p.last = now
+	p.seq++
+	seq := p.seq
+	p.captures++
+	p.mu.Unlock()
+
+	base := fmt.Sprintf("%s-%04d-%s", now.UTC().Format("20060102T150405"), seq, sanitizeReason(reason))
+	heapPath := filepath.Join(p.cfg.Dir, base+".heap.pprof")
+	heapErr := p.writeHeap(heapPath)
+
+	cpu := p.cfg.CPUDuration > 0
+	if cpu {
+		cpuPath := filepath.Join(p.cfg.Dir, base+".cpu.pprof")
+		p.cpuWG.Add(1)
+		go func() {
+			defer p.cpuWG.Done()
+			p.writeCPU(cpuPath)
+			p.enforceCap()
+		}()
+	}
+	p.enforceCap()
+
+	ev := p.cfg.Recorder.Event("profile_capture").Str("reason", reason).Str("file", base).Bool("cpu", cpu)
+	if heapErr != nil {
+		ev = ev.Str("heap_error", heapErr.Error())
+	}
+	ev.Emit()
+	return true
+}
+
+// Wait blocks until in-flight CPU captures finish (tests, shutdown).
+func (p *ProfileCapturer) Wait() {
+	if p == nil {
+		return
+	}
+	p.cpuWG.Wait()
+}
+
+func (p *ProfileCapturer) writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // fresh heap statistics
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (p *ProfileCapturer) writeCPU(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	// StartCPUProfile fails if another CPU profile is running (e.g. a
+	// concurrent capture or the pprof HTTP endpoint); drop the file.
+	if err := pprof.StartCPUProfile(f); err != nil {
+		_ = os.Remove(path)
+		return
+	}
+	time.Sleep(p.cfg.CPUDuration)
+	pprof.StopCPUProfile()
+}
+
+// enforceCap deletes the oldest capture files until the directory fits the
+// byte budget.
+func (p *ProfileCapturer) enforceCap() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entries, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		return
+	}
+	type capFile struct {
+		name string
+		size int64
+	}
+	var files []capFile
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".pprof") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, capFile{e.Name(), info.Size()})
+		total += info.Size()
+	}
+	// Capture names start with a UTC timestamp + sequence number, so
+	// lexical order is age order.
+	sort.Slice(files, func(i, j int) bool { return files[i].name < files[j].name })
+	for _, f := range files {
+		if total <= p.cfg.MaxDirBytes {
+			break
+		}
+		if err := os.Remove(filepath.Join(p.cfg.Dir, f.name)); err == nil {
+			total -= f.size
+		}
+	}
+}
+
+// sanitizeReason keeps capture file names shell- and filesystem-safe.
+func sanitizeReason(reason string) string {
+	if reason == "" {
+		return "anomaly"
+	}
+	var b strings.Builder
+	for _, c := range reason {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	const maxLen = 48
+	s := b.String()
+	if len(s) > maxLen {
+		s = s[:maxLen]
+	}
+	return s
+}

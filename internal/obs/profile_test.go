@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func captureFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".pprof") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+func TestProfileCapturerNilSafe(t *testing.T) {
+	var p *ProfileCapturer
+	if p.Trigger("x") {
+		t.Fatal("nil capturer Trigger returned true")
+	}
+	if p.Captures() != 0 || p.Dropped() != 0 {
+		t.Fatal("nil capturer counts non-zero")
+	}
+	p.Wait()
+}
+
+func TestProfileCapturerWritesHeap(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, slog.LevelInfo)
+	p, err := NewProfileCapturer(ProfileConfig{Dir: dir, MinInterval: time.Hour, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Trigger("divergence_rollback") {
+		t.Fatal("first Trigger was rate-limited")
+	}
+	p.Wait()
+
+	files := captureFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("capture files = %v, want one heap profile", files)
+	}
+	if !strings.Contains(files[0], "divergence_rollback") || !strings.HasSuffix(files[0], ".heap.pprof") {
+		t.Fatalf("capture file name %q", files[0])
+	}
+	info, err := os.Stat(filepath.Join(dir, files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("heap profile is empty")
+	}
+	if !strings.Contains(buf.String(), `"msg":"profile_capture"`) {
+		t.Fatalf("no profile_capture event recorded: %s", buf.String())
+	}
+}
+
+func TestProfileCapturerRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileCapturer(ProfileConfig{Dir: dir, MinInterval: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1700000000, 0)
+	p.setNow(func() time.Time { return clock })
+
+	if !p.Trigger("hpa_fallback") {
+		t.Fatal("first trigger limited")
+	}
+	clock = clock.Add(30 * time.Second)
+	if p.Trigger("hpa_fallback") {
+		t.Fatal("trigger inside MinInterval not limited")
+	}
+	clock = clock.Add(31 * time.Second)
+	if !p.Trigger("hpa_fallback") {
+		t.Fatal("trigger after MinInterval limited")
+	}
+	p.Wait()
+	if p.Captures() != 2 || p.Dropped() != 1 {
+		t.Fatalf("captures=%d dropped=%d, want 2/1", p.Captures(), p.Dropped())
+	}
+	if got := len(captureFiles(t, dir)); got != 2 {
+		t.Fatalf("files on disk = %d, want 2", got)
+	}
+}
+
+func TestProfileCapturerDirSizeCap(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileCapturer(ProfileConfig{Dir: dir, MinInterval: time.Nanosecond, MaxDirBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1700000000, 0)
+	p.setNow(func() time.Time { c := clock; clock = clock.Add(time.Second); return c })
+
+	for i := 0; i < 4; i++ {
+		if !p.Trigger("slow_span") {
+			t.Fatalf("trigger %d limited", i)
+		}
+	}
+	p.Wait()
+	// A 1-byte budget can never fit a heap profile, so after every capture
+	// all but the newest file must have been evicted (the newest is written
+	// after eviction of the older ones; the final enforce pass leaves at
+	// most the newest over-budget file).
+	files := captureFiles(t, dir)
+	if len(files) > 1 {
+		t.Fatalf("size cap kept %d files: %v", len(files), files)
+	}
+	if p.Captures() != 4 {
+		t.Fatalf("captures = %d, want 4", p.Captures())
+	}
+}
+
+func TestProfileCapturerCPUCapture(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfileCapturer(ProfileConfig{Dir: dir, MinInterval: time.Hour, CPUDuration: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Trigger("anomaly") {
+		t.Fatal("trigger limited")
+	}
+	p.Wait()
+	var heap, cpu bool
+	for _, f := range captureFiles(t, dir) {
+		heap = heap || strings.HasSuffix(f, ".heap.pprof")
+		cpu = cpu || strings.HasSuffix(f, ".cpu.pprof")
+	}
+	if !heap || !cpu {
+		t.Fatalf("files = %v, want heap and cpu captures", captureFiles(t, dir))
+	}
+}
+
+func TestProfileCapturerBadDir(t *testing.T) {
+	if _, err := NewProfileCapturer(ProfileConfig{Dir: ""}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	file := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProfileCapturer(ProfileConfig{Dir: filepath.Join(file, "sub")}); err == nil {
+		t.Fatal("dir under a regular file accepted")
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	for in, want := range map[string]string{
+		"divergence_rollback": "divergence_rollback",
+		"":                    "anomaly",
+		"a b/c..d":            "a_b_c__d",
+	} {
+		if got := sanitizeReason(in); got != want {
+			t.Fatalf("sanitizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+	long := strings.Repeat("x", 100)
+	if got := sanitizeReason(long); len(got) != 48 {
+		t.Fatalf("long reason not truncated: %d chars", len(got))
+	}
+}

@@ -1,0 +1,536 @@
+// Causal span tracing. A Tracer produces spans — named intervals with a
+// trace id, a span id, and a parent link — threaded through the training
+// loop (iteration → collect/fit/improve/evaluate windows) and the serving
+// path (HTTP request → decide/step), so latency and failures can be
+// attributed across component boundaries instead of inferred from flat
+// counters.
+//
+// The same discipline as the Recorder applies: a nil *Tracer (and the nil
+// *Span every method then returns) is fully disabled and allocates nothing,
+// so hot paths stay instrumented unconditionally. In sim-time mode spans
+// carry virtual timestamps only — wall-clock fields are stripped — so a
+// seeded run emits a byte-identical span trace every time, at any
+// GOMAXPROCS.
+//
+// Finished spans are exported two ways: as "span" records on the Recorder's
+// JSONL sink (the CLI -trace-out files), and into an in-process SpanRing
+// served at GET /v1/debug/traces.
+
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TracerConfig configures a Tracer. The zero value is a valid (if silent)
+// tracer: no sink, no ring, wall-clock timestamps.
+type TracerConfig struct {
+	// Recorder, when non-nil, receives one "span" JSONL record per
+	// finished span.
+	Recorder *Recorder
+	// Ring, when non-nil, keeps the most recent finished spans in memory
+	// for GET /v1/debug/traces.
+	Ring *SpanRing
+	// SimTime strips wall-clock fields from exported spans so seeded
+	// traces are byte-identical across runs. Virtual timestamps come from
+	// Clock or the explicit T0/EndT calls.
+	SimTime bool
+	// Clock, when non-nil, supplies virtual (simulation) time for spans
+	// that do not set it explicitly. See also (*Tracer).SetClock.
+	Clock func() float64
+	// Debug enables the debug-granularity spans (per DDPG minibatch
+	// update); by default StartDebug is a no-op.
+	Debug bool
+	// SlowWall, when positive, marks spans whose wall duration exceeds it
+	// as anomalies: OnAnomaly fires (even in sim-time mode, where the wall
+	// measurement is internal only).
+	SlowWall time.Duration
+	// OnAnomaly is called for every over-threshold span. Implementations
+	// must be cheap and concurrency-safe; the profiling capturer's
+	// rate-limited Trigger is the intended target.
+	OnAnomaly func(span string, wall time.Duration)
+}
+
+// Tracer mints spans. Safe for concurrent use, except SetParent/SetClock
+// which belong to single-goroutine setup and training loops. A nil *Tracer
+// is valid and fully disabled.
+type Tracer struct {
+	cfg TracerConfig
+	// ids is the trace/span id allocator. Sequential ids keep seeded
+	// single-threaded traces deterministic; concurrent servers only need
+	// uniqueness, which the atomic provides.
+	ids  atomic.Uint64
+	pool sync.Pool
+	// cur is the ambient parent installed by SetParent — the mechanism the
+	// single-goroutine training loop uses to parent spans created deep in
+	// components (env windows, model fits) without threading a Span
+	// through every signature. Servers never set it.
+	cur parentRef
+}
+
+type parentRef struct {
+	traceHi, traceLo uint64
+	id               uint64
+	ok               bool
+}
+
+// NewTracer builds a tracer from cfg.
+func NewTracer(cfg TracerConfig) *Tracer {
+	t := &Tracer{cfg: cfg}
+	t.pool.New = func() any { return &Span{attrs: make([]slog.Attr, 0, 16)} }
+	return t
+}
+
+// SetClock installs the virtual-time source (typically the simulation
+// engine's Now). Intended for single-goroutine setup; the experiment
+// harness calls it once per built harness. Safe on a nil tracer.
+func (t *Tracer) SetClock(fn func() float64) {
+	if t != nil {
+		t.cfg.Clock = fn
+	}
+}
+
+// Ring returns the tracer's span ring, or nil. Safe on a nil tracer.
+func (t *Tracer) Ring() *SpanRing {
+	if t == nil {
+		return nil
+	}
+	return t.cfg.Ring
+}
+
+// SetParent installs sp as the ambient parent: every Start until the
+// returned restore function runs creates a child of sp. Single-goroutine
+// use only (the training loop); concurrent servers parent explicitly via
+// Child. Safe on a nil tracer and a nil span.
+func (t *Tracer) SetParent(sp *Span) (restore func()) {
+	if t == nil {
+		return func() {}
+	}
+	prev := t.cur
+	if sp == nil {
+		t.cur = parentRef{}
+	} else {
+		t.cur = parentRef{sp.traceHi, sp.traceLo, sp.id, true}
+	}
+	return func() { t.cur = prev }
+}
+
+// Start begins an info-level span. Under an ambient parent (SetParent) the
+// span joins that trace; otherwise it roots a fresh one. Returns nil (all
+// methods no-op) on a nil tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, slog.LevelInfo)
+}
+
+// StartDebug begins a debug-granularity span (per-minibatch hot-path
+// instrumentation). It is a no-op unless the tracer was built with Debug.
+func (t *Tracer) StartDebug(name string) *Span {
+	if t == nil || !t.cfg.Debug {
+		return nil
+	}
+	return t.start(name, slog.LevelDebug)
+}
+
+// StartRemote begins a root span continuing an incoming W3C traceparent
+// header ("00-<32hex trace>-<16hex parent>-<2hex flags>"). An empty or
+// malformed value starts a fresh trace instead.
+func (t *Tracer) StartRemote(name, traceparent string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := t.start(name, slog.LevelInfo)
+	if hi, lo, parent, ok := parseTraceparent(traceparent); ok {
+		sp.traceHi, sp.traceLo, sp.parent = hi, lo, parent
+	}
+	return sp
+}
+
+func (t *Tracer) start(name string, level slog.Level) *Span {
+	sp := t.pool.Get().(*Span)
+	sp.tr, sp.level, sp.name = t, level, name
+	if t.cur.ok {
+		sp.traceHi, sp.traceLo = t.cur.traceHi, t.cur.traceLo
+		sp.parent = t.cur.id
+	} else {
+		sp.traceHi, sp.traceLo = 0, t.ids.Add(1)
+		sp.parent = 0
+	}
+	sp.id = t.ids.Add(1)
+	// Wall time is always measured (the slow-span anomaly check needs it)
+	// but only exported when the tracer is not in sim-time mode.
+	sp.wallStart = time.Now()
+	if t.cfg.Clock != nil {
+		sp.t0, sp.hasT0 = t.cfg.Clock(), true
+	} else {
+		sp.t0, sp.hasT0 = 0, false
+	}
+	return sp
+}
+
+// Span is one in-flight traced interval. A nil *Span (disabled tracer)
+// accepts the whole builder chain and End as no-ops. Spans are pooled:
+// every started span must End exactly once, and must not be used after.
+type Span struct {
+	tr        *Tracer
+	level     slog.Level
+	traceHi   uint64
+	traceLo   uint64
+	id        uint64
+	parent    uint64
+	name      string
+	wallStart time.Time
+	t0        float64
+	hasT0     bool
+	attrs     []slog.Attr
+}
+
+// Child begins a span in the same trace with s as parent, at s's level.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.tr.pool.Get().(*Span)
+	c.tr, c.level, c.name = s.tr, s.level, name
+	c.traceHi, c.traceLo, c.parent = s.traceHi, s.traceLo, s.id
+	c.id = s.tr.ids.Add(1)
+	c.wallStart = time.Now()
+	if s.tr.cfg.Clock != nil {
+		c.t0, c.hasT0 = s.tr.cfg.Clock(), true
+	} else {
+		c.t0, c.hasT0 = 0, false
+	}
+	return c
+}
+
+// T0 sets the span's virtual start time explicitly, overriding the clock.
+func (s *Span) T0(simTime float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t0, s.hasT0 = simTime, true
+	return s
+}
+
+// Str attaches a string attribute.
+func (s *Span) Str(k, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, slog.String(k, v))
+	return s
+}
+
+// Int attaches an int attribute.
+func (s *Span) Int(k string, v int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, slog.Int(k, v))
+	return s
+}
+
+// Uint attaches a uint64 attribute.
+func (s *Span) Uint(k string, v uint64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, slog.Uint64(k, v))
+	return s
+}
+
+// F64 attaches a float attribute.
+func (s *Span) F64(k string, v float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, slog.Float64(k, v))
+	return s
+}
+
+// Bool attaches a bool attribute.
+func (s *Span) Bool(k string, v bool) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, slog.Bool(k, v))
+	return s
+}
+
+// TraceID returns the span's 32-hex-digit W3C trace id ("" when disabled).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%016x%016x", s.traceHi, s.traceLo)
+}
+
+// Traceparent renders the W3C header value that downstream calls should
+// carry to join this span's trace ("" when disabled).
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("00-%016x%016x-%016x-01", s.traceHi, s.traceLo, s.id)
+}
+
+// End finishes the span at the clock's current virtual time (if a clock is
+// installed), exports it, and recycles the builder.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.tr.cfg.Clock != nil {
+		s.finish(s.tr.cfg.Clock(), true)
+		return
+	}
+	s.finish(0, false)
+}
+
+// EndT finishes the span at the explicit virtual time t1.
+func (s *Span) EndT(t1 float64) {
+	if s == nil {
+		return
+	}
+	s.finish(t1, true)
+}
+
+func (s *Span) finish(t1 float64, hasT1 bool) {
+	tr := s.tr
+	wall := time.Since(s.wallStart)
+	if tr.cfg.SlowWall > 0 && wall > tr.cfg.SlowWall && tr.cfg.OnAnomaly != nil {
+		tr.cfg.OnAnomaly(s.name, wall)
+	}
+
+	if rec := tr.cfg.Recorder; rec != nil {
+		if ev := rec.at(s.level, "span"); ev != nil {
+			ev.Str("name", s.name).
+				Str("trace", s.TraceID()).
+				Uint("id", s.id)
+			if s.parent != 0 {
+				ev.Uint("parent", s.parent)
+			}
+			if s.hasT0 {
+				ev.F64("t0", s.t0)
+			}
+			if hasT1 {
+				ev.F64("t1", t1)
+			}
+			if !tr.cfg.SimTime {
+				ev.F64("wall_start", float64(s.wallStart.UnixNano())/1e9).
+					F64("wall_dur", wall.Seconds())
+			}
+			ev.attrs = append(ev.attrs, s.attrs...)
+			ev.Emit()
+		}
+	}
+	if ring := tr.cfg.Ring; ring != nil {
+		rec := SpanRecord{
+			Trace:  s.TraceID(),
+			ID:     fmt.Sprintf("%016x", s.id),
+			Name:   s.name,
+			T0:     s.t0,
+			T1:     t1,
+			Sim:    s.hasT0 || hasT1,
+			Debug:  s.level < slog.LevelInfo,
+			Parent: "",
+		}
+		if s.parent != 0 {
+			rec.Parent = fmt.Sprintf("%016x", s.parent)
+		}
+		if !tr.cfg.SimTime {
+			rec.WallStart = float64(s.wallStart.UnixNano()) / 1e9
+			rec.WallDur = wall.Seconds()
+		}
+		if len(s.attrs) > 0 {
+			rec.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				rec.Attrs[a.Key] = a.Value.Resolve().Any()
+			}
+		}
+		ring.Push(rec)
+	}
+
+	s.tr = nil
+	s.attrs = s.attrs[:0]
+	tr.pool.Put(s)
+}
+
+// parseTraceparent validates a W3C traceparent value and extracts the trace
+// id halves and the parent span id.
+func parseTraceparent(v string) (hi, lo, parent uint64, ok bool) {
+	// 00-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx-yyyyyyyyyyyyyyyy-zz
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return 0, 0, 0, false
+	}
+	var err error
+	if hi, err = strconv.ParseUint(v[3:19], 16, 64); err != nil {
+		return 0, 0, 0, false
+	}
+	if lo, err = strconv.ParseUint(v[19:35], 16, 64); err != nil {
+		return 0, 0, 0, false
+	}
+	if parent, err = strconv.ParseUint(v[36:52], 16, 64); err != nil {
+		return 0, 0, 0, false
+	}
+	if hi == 0 && lo == 0 {
+		return 0, 0, 0, false // all-zero trace id is invalid per spec
+	}
+	return hi, lo, parent, true
+}
+
+// --- context propagation ---
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp (unchanged when sp is nil).
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// --- span ring ---
+
+// SpanRecord is one finished span as exported at /v1/debug/traces.
+type SpanRecord struct {
+	Trace  string `json:"trace"`
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// T0 and T1 are virtual (simulation) timestamps in seconds; Sim
+	// reports whether they were actually set.
+	T0  float64 `json:"t0"`
+	T1  float64 `json:"t1"`
+	Sim bool    `json:"sim"`
+	// WallStart (unix seconds) and WallDur (seconds) are zero in sim-time
+	// mode.
+	WallStart float64 `json:"wall_start,omitempty"`
+	WallDur   float64 `json:"wall_dur,omitempty"`
+	// Debug marks debug-granularity spans.
+	Debug bool           `json:"debug,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// SpanRing keeps the most recent finished spans in a fixed-capacity ring.
+// Safe for concurrent use; a nil *SpanRing swallows everything.
+type SpanRing struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	head int // next write position
+	n    int // live records
+}
+
+// NewSpanRing returns a ring holding the last capacity spans (minimum 1).
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRing{buf: make([]SpanRecord, capacity)}
+}
+
+// Push appends one finished span, evicting the oldest at capacity. Safe on
+// a nil ring.
+func (r *SpanRing) Push(rec SpanRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.head] = rec
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained spans. Safe on a nil ring.
+func (r *SpanRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Records returns the retained spans, oldest first. Safe on a nil ring.
+func (r *SpanRing) Records() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// DropSession removes every retained span whose "session" attribute equals
+// id — the DELETE /v1/sessions/{id} cleanup hook — and returns how many it
+// removed. Safe on a nil ring.
+func (r *SpanRing) DropSession(id string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := make([]SpanRecord, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	dropped := 0
+	for i := 0; i < r.n; i++ {
+		rec := r.buf[(start+i)%len(r.buf)]
+		if s, ok := rec.Attrs["session"].(string); ok && s == id {
+			dropped++
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	if dropped == 0 {
+		return 0
+	}
+	clear(r.buf)
+	copy(r.buf, kept)
+	r.head = len(kept) % len(r.buf)
+	r.n = len(kept)
+	return dropped
+}
+
+// Handler serves the ring as a JSON array (oldest first) — the
+// GET /v1/debug/traces endpoint.
+func (r *SpanRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		recs := r.Records()
+		if recs == nil {
+			recs = []SpanRecord{}
+		}
+		_ = json.NewEncoder(w).Encode(recs)
+	})
+}

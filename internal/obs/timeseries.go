@@ -1,0 +1,320 @@
+// Live time-series history: a fixed-capacity ring that periodically samples
+// the metrics Registry, keeping the last N points per series in process so
+// an operator (or a test) can see short-term history without running a
+// Prometheus server. Served as JSON at GET /v1/debug/timeseries and as a
+// dependency-free HTML+SVG sparkline dashboard at GET /debug/dash.
+
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"html"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// VisitSeries calls f once per scalar series in deterministic (sorted)
+// order: counters and gauges directly, histograms as their _count and _sum
+// series. Function gauges are evaluated.
+func (r *Registry) VisitSeries(f func(name, labels string, value float64)) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+
+	for _, fam := range fams {
+		fam.mu.Lock()
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		type row struct {
+			key string
+			m   any
+		}
+		rows := make([]row, 0, len(keys))
+		for _, k := range keys {
+			rows = append(rows, row{k, fam.series[k]})
+		}
+		fam.mu.Unlock()
+		for _, rw := range rows {
+			switch m := rw.m.(type) {
+			case *Counter:
+				f(fam.name, rw.key, float64(m.Value()))
+			case *Gauge:
+				f(fam.name, rw.key, m.Value())
+			case funcGauge:
+				f(fam.name, rw.key, m.fn())
+			case *Histogram:
+				f(fam.name+"_count", rw.key, float64(m.Count()))
+				f(fam.name+"_sum", rw.key, m.Sum())
+			}
+		}
+	}
+}
+
+// SeriesCount returns the number of labelled series currently registered
+// (histograms count once) — the cardinality the per-session cleanup audit
+// checks.
+func (r *Registry) SeriesCount() int {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, f := range fams {
+		f.mu.Lock()
+		n += len(f.series)
+		f.mu.Unlock()
+	}
+	return n
+}
+
+// TimeSeriesPoint is one sample of one series.
+type TimeSeriesPoint struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// tsSeries is the ring buffer for one labelled series.
+type tsSeries struct {
+	name   string
+	labels string
+	t, v   []float64
+	head   int // next write position
+	n      int
+}
+
+func (s *tsSeries) push(t, v float64) {
+	s.t[s.head], s.v[s.head] = t, v
+	s.head = (s.head + 1) % len(s.t)
+	if s.n < len(s.t) {
+		s.n++
+	}
+}
+
+func (s *tsSeries) points() []TimeSeriesPoint {
+	out := make([]TimeSeriesPoint, 0, s.n)
+	start := s.head - s.n
+	if start < 0 {
+		start += len(s.t)
+	}
+	for i := 0; i < s.n; i++ {
+		j := (start + i) % len(s.t)
+		out = append(out, TimeSeriesPoint{T: s.t[j], V: s.v[j]})
+	}
+	return out
+}
+
+// TimeSeriesRing keeps the last capacity samples of every registry series.
+// Series that disappear from the registry (e.g. a deleted session's
+// per-session gauges) are pruned at the next Sample, so ring cardinality
+// tracks registry cardinality. Safe for concurrent use.
+type TimeSeriesRing struct {
+	mu       sync.Mutex
+	capacity int
+	series   map[string]*tsSeries
+	samples  uint64
+}
+
+// NewTimeSeriesRing returns a ring keeping capacity points per series
+// (minimum 2).
+func NewTimeSeriesRing(capacity int) *TimeSeriesRing {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &TimeSeriesRing{capacity: capacity, series: make(map[string]*tsSeries)}
+}
+
+// Sample records one point per registry series at timestamp now (seconds;
+// the caller chooses the epoch — the server uses seconds since start) and
+// prunes series no longer present in the registry.
+func (ts *TimeSeriesRing) Sample(reg *Registry, now float64) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	seen := make(map[string]bool, len(ts.series))
+	reg.VisitSeries(func(name, labels string, value float64) {
+		key := name + labels
+		s, ok := ts.series[key]
+		if !ok {
+			s = &tsSeries{
+				name:   name,
+				labels: labels,
+				t:      make([]float64, ts.capacity),
+				v:      make([]float64, ts.capacity),
+			}
+			ts.series[key] = s
+		}
+		s.push(now, value)
+		seen[key] = true
+	})
+	for key := range ts.series {
+		if !seen[key] {
+			delete(ts.series, key)
+		}
+	}
+	ts.samples++
+}
+
+// Run samples reg every interval until ctx is done, stamping points with
+// seconds since Run started. The server launches this in a goroutine.
+func (ts *TimeSeriesRing) Run(ctx context.Context, reg *Registry, interval time.Duration) {
+	start := time.Now()
+	ts.Sample(reg, 0) // immediate first sample: never serve an empty ring
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			ts.Sample(reg, now.Sub(start).Seconds())
+		}
+	}
+}
+
+// SeriesCount returns how many series the ring currently holds.
+func (ts *TimeSeriesRing) SeriesCount() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.series)
+}
+
+// Samples returns how many sampling passes have run.
+func (ts *TimeSeriesRing) Samples() uint64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.samples
+}
+
+// TimeSeriesDump is the JSON shape of GET /v1/debug/timeseries.
+type TimeSeriesDump struct {
+	Samples uint64             `json:"samples"`
+	Series  []TimeSeriesSeries `json:"series"`
+}
+
+// TimeSeriesSeries is one series' retained history.
+type TimeSeriesSeries struct {
+	Name   string            `json:"name"`
+	Labels string            `json:"labels,omitempty"`
+	Last   float64           `json:"last"`
+	Points []TimeSeriesPoint `json:"points"`
+}
+
+// Snapshot returns the ring's full contents, series sorted by name+labels.
+func (ts *TimeSeriesRing) Snapshot() TimeSeriesDump {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	keys := make([]string, 0, len(ts.series))
+	for k := range ts.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dump := TimeSeriesDump{Samples: ts.samples, Series: make([]TimeSeriesSeries, 0, len(keys))}
+	for _, k := range keys {
+		s := ts.series[k]
+		pts := s.points()
+		last := 0.0
+		if len(pts) > 0 {
+			last = pts[len(pts)-1].V
+		}
+		dump.Series = append(dump.Series, TimeSeriesSeries{
+			Name:   s.name,
+			Labels: s.labels,
+			Last:   last,
+			Points: pts,
+		})
+	}
+	return dump
+}
+
+// Handler serves the ring as JSON — the GET /v1/debug/timeseries endpoint.
+func (ts *TimeSeriesRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(ts.Snapshot())
+	})
+}
+
+// DashHandler serves a dependency-free HTML+SVG sparkline dashboard over
+// the ring — the GET /debug/dash endpoint. One sparkline per series,
+// rendered server-side; refresh the page to refresh the data.
+func (ts *TimeSeriesRing) DashHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		dump := ts.Snapshot()
+		var b strings.Builder
+		b.WriteString(`<!DOCTYPE html><html><head><meta charset="utf-8">` +
+			`<title>miras dash</title><style>` +
+			`body{font:13px/1.4 monospace;background:#14161a;color:#d8dee9;margin:1.5em}` +
+			`h1{font-size:15px} .s{display:inline-block;margin:4px 8px;padding:6px 8px;` +
+			`background:#1d2026;border-radius:4px;vertical-align:top}` +
+			`.n{color:#8fbcbb}.l{color:#616e88;font-size:11px}.v{color:#ebcb8b}` +
+			`svg{display:block;margin-top:4px}polyline{fill:none;stroke:#88c0d0;stroke-width:1.25}` +
+			`</style></head><body><h1>miras live time series</h1><p class="l">samples: `)
+		fmt.Fprintf(&b, "%d · series: %d</p>", dump.Samples, len(dump.Series))
+		for _, s := range dump.Series {
+			b.WriteString(`<div class="s"><span class="n">`)
+			b.WriteString(html.EscapeString(s.Name))
+			b.WriteString(`</span> <span class="v">`)
+			fmt.Fprintf(&b, "%g", s.Last)
+			b.WriteString(`</span><br><span class="l">`)
+			b.WriteString(html.EscapeString(s.Labels))
+			b.WriteString(`</span>`)
+			writeSparkline(&b, s.Points)
+			b.WriteString(`</div>`)
+		}
+		b.WriteString(`</body></html>`)
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// writeSparkline renders one series as an inline SVG polyline, scaled into
+// a 160×36 box.
+func writeSparkline(b *strings.Builder, pts []TimeSeriesPoint) {
+	const w, h = 160.0, 36.0
+	b.WriteString(`<svg width="160" height="36" viewBox="0 0 160 36">`)
+	if len(pts) > 0 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range pts {
+			lo, hi = math.Min(lo, p.V), math.Max(hi, p.V)
+		}
+		span := hi - lo
+		if span == 0 || math.IsNaN(span) || math.IsInf(span, 0) {
+			span = 1
+		}
+		b.WriteString(`<polyline points="`)
+		for i, p := range pts {
+			x := w
+			if len(pts) > 1 {
+				x = w * float64(i) / float64(len(pts)-1)
+			}
+			y := h - 2 - (h-4)*((p.V-lo)/span)
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				y = h / 2
+			}
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(b, "%.1f,%.1f", x, y)
+		}
+		b.WriteString(`"/>`)
+	}
+	b.WriteString(`</svg>`)
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestVisitSeriesCoversAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", "k", "a").Add(3)
+	r.Gauge("g", "").Set(1.5)
+	r.GaugeFunc("fg", "", func() float64 { return 7 })
+	h := r.Histogram("h_seconds", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+
+	got := make(map[string]float64)
+	r.VisitSeries(func(name, labels string, value float64) {
+		got[name+labels] = value
+	})
+	want := map[string]float64{
+		`c_total{k="a"}`:  3,
+		"g":               1.5,
+		"fg":              7,
+		"h_seconds_count": 2,
+		"h_seconds_sum":   2.5,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("VisitSeries[%q] = %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("VisitSeries yielded %d series, want %d: %v", len(got), len(want), got)
+	}
+	if r.SeriesCount() != 4 {
+		t.Fatalf("SeriesCount = %d, want 4", r.SeriesCount())
+	}
+}
+
+func TestTimeSeriesRingSampleAndWrap(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("wip", "")
+	ring := NewTimeSeriesRing(3)
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i))
+		ring.Sample(r, float64(i))
+	}
+	dump := ring.Snapshot()
+	if dump.Samples != 5 {
+		t.Fatalf("Samples = %d, want 5", dump.Samples)
+	}
+	if len(dump.Series) != 1 {
+		t.Fatalf("series = %+v, want one", dump.Series)
+	}
+	s := dump.Series[0]
+	if s.Name != "wip" || s.Last != 4 {
+		t.Fatalf("series = %+v", s)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("ring kept %d points, want 3", len(s.Points))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if s.Points[i].T != want || s.Points[i].V != want {
+			t.Fatalf("point %d = %+v, want t=v=%v (oldest-first)", i, s.Points[i], want)
+		}
+	}
+}
+
+// TestTimeSeriesRingPrunesRemovedSeries is the cleanup-audit half of the
+// ring: when a session's gauges leave the registry, the next Sample drops
+// their history, returning ring cardinality to baseline.
+func TestTimeSeriesRingPrunesRemovedSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("up", "").Set(1)
+	ring := NewTimeSeriesRing(8)
+	ring.Sample(r, 0)
+	baseline := ring.SeriesCount()
+
+	r.Gauge("miras_env_wip", "", "session", "s1").Set(5)
+	r.Counter("miras_faults_total", "", "session", "s1").Inc()
+	ring.Sample(r, 1)
+	if ring.SeriesCount() != baseline+2 {
+		t.Fatalf("ring series = %d, want %d", ring.SeriesCount(), baseline+2)
+	}
+
+	r.Remove("miras_env_wip", "session", "s1")
+	r.Remove("miras_faults_total", "session", "s1")
+	ring.Sample(r, 2)
+	if ring.SeriesCount() != baseline {
+		t.Fatalf("ring series after delete = %d, want baseline %d", ring.SeriesCount(), baseline)
+	}
+	for _, s := range ring.Snapshot().Series {
+		if strings.Contains(s.Labels, `session="s1"`) {
+			t.Fatalf("deleted session series survived: %+v", s)
+		}
+	}
+}
+
+func TestTimeSeriesHandlerJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "").Set(2)
+	ring := NewTimeSeriesRing(4)
+	ring.Sample(r, 0)
+
+	rr := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/v1/debug/timeseries", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var dump TimeSeriesDump
+	if err := json.Unmarshal(rr.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if dump.Samples != 1 || len(dump.Series) != 1 || dump.Series[0].Last != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+}
+
+func TestDashHandlerHTML(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "", "k", `a<b>"c"`).Set(1)
+	ring := NewTimeSeriesRing(4)
+	ring.Sample(r, 0)
+	ring.Sample(r, 1)
+
+	rr := httptest.NewRecorder()
+	ring.DashHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/dash", nil))
+	body := rr.Body.String()
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "<svg", "<polyline", "miras live time series"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, body)
+		}
+	}
+	// Label values render escaped, not as live markup.
+	if strings.Contains(body, "<b>") {
+		t.Fatalf("dashboard injected unescaped label markup:\n%s", body)
+	}
+}

@@ -186,7 +186,8 @@ type DDPG struct {
 	lastCriticLoss float64
 	lastMeanQ      float64
 
-	rec *obs.Recorder
+	rec    *obs.Recorder
+	tracer *obs.Tracer
 }
 
 // NewDDPG builds an agent.
@@ -273,6 +274,11 @@ func (d *DDPG) Config() Config { return d.cfg }
 // SetRecorder attaches a telemetry recorder; each minibatch update then
 // emits a debug event. A nil recorder keeps Update allocation-free.
 func (d *DDPG) SetRecorder(r *obs.Recorder) { d.rec = r }
+
+// SetTracer attaches a span tracer; each minibatch update then emits one
+// debug-granularity "ddpg.update" span (only when the tracer was built with
+// Debug). A nil tracer keeps Update allocation-free.
+func (d *DDPG) SetTracer(t *obs.Tracer) { d.tracer = t }
 
 // ReplayLen returns the number of stored experiences.
 func (d *DDPG) ReplayLen() int { return d.replay.Len() }
@@ -379,6 +385,7 @@ func (d *DDPG) Update() (criticLoss, meanQ float64) {
 	if d.replay.Len() < d.cfg.BatchSize {
 		return 0, 0
 	}
+	updateSpan := d.tracer.StartDebug("ddpg.update")
 	d.replay.Sample(d.rng, d.batch)
 	cfg := d.cfg
 	invB := 1 / float64(len(d.batch))
@@ -466,6 +473,7 @@ func (d *DDPG) Update() (criticLoss, meanQ float64) {
 		Int("replay", d.replay.Len()).
 		F64("sigma", d.NoiseSigma()).
 		Emit()
+	updateSpan.Uint("update", d.updates).F64("critic_loss", criticLoss).End()
 	return criticLoss, meanQ
 }
 

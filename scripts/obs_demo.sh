@@ -29,11 +29,27 @@ fetch() {
     fi
 }
 
+# post PATH BODY — POST a JSON body and print the response body, same
+# curl-or-/dev/tcp discipline as fetch.
+post() {
+    local path="$1" body="$2"
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf -X POST -d "$body" "http://$ADDR$path"
+    else
+        local host="${ADDR%:*}" port="${ADDR##*:}"
+        exec 3<>"/dev/tcp/$host/$port"
+        printf 'POST %s HTTP/1.0\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s' \
+            "$path" "$host" "${#body}" "$body" >&3
+        sed '1,/^\r\{0,1\}$/d' <&3
+        exec 3<&- 3>&-
+    fi
+}
+
 echo "==> building miras-server"
 go build -o "$BIN" ./cmd/miras-server
 
 echo "==> starting miras-server on $ADDR"
-"$BIN" -addr "$ADDR" &
+"$BIN" -addr "$ADDR" -sample-interval 200ms &
 SERVER_PID=$!
 cleanup() {
     kill "$SERVER_PID" 2>/dev/null || true
@@ -64,6 +80,49 @@ echo "$metrics" | grep -q '^process_goroutines' || {
 }
 echo "$metrics" | grep -q '^# TYPE' || {
     echo "/metrics missing Prometheus type metadata" >&2
+    exit 1
+}
+
+echo "==> driving one traced session"
+created=$(post /v1/sessions '{"ensemble":"toy","budget":6,"window_sec":10}')
+echo "$created" | grep -q '"id":"s1"' || {
+    echo "session create failed: $created" >&2
+    exit 1
+}
+post /v1/sessions/s1/step '{"allocation":[4,2]}' | grep -q '"reward"' || {
+    echo "session step failed" >&2
+    exit 1
+}
+
+echo "==> scraping /v1/debug/traces"
+traces=$(fetch /v1/debug/traces)
+echo "$traces" | grep -q '"name":"http.step"' || {
+    echo "/v1/debug/traces missing the request root span: $traces" >&2
+    exit 1
+}
+echo "$traces" | grep -q '"name":"session.step"' || {
+    echo "/v1/debug/traces missing the session child span: $traces" >&2
+    exit 1
+}
+
+echo "==> scraping /v1/debug/timeseries"
+# The sampler runs every 200ms; give it a moment to take a sample that
+# includes the session's series.
+sleep 0.5
+series=$(fetch /v1/debug/timeseries)
+echo "$series" | grep -q '"samples":' || {
+    echo "/v1/debug/timeseries is not a snapshot dump: $series" >&2
+    exit 1
+}
+echo "$series" | grep -q 'miras_http_requests_total' || {
+    echo "/v1/debug/timeseries missing request counters: $series" >&2
+    exit 1
+}
+
+echo "==> scraping /debug/dash"
+dash=$(fetch /debug/dash)
+echo "$dash" | grep -q '<svg' || {
+    echo "/debug/dash has no sparklines" >&2
     exit 1
 }
 
