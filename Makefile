@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo
+.PHONY: build test vet race check bench bench-smoke fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo loadgen-demo
 
 build:
 	$(GO) build ./...
@@ -74,3 +74,10 @@ golden-demo:
 # CSVs are byte-identical to an uninterrupted run's (invariants live).
 resume-demo:
 	./scripts/resume_demo.sh
+
+# Horizontal-scaling gate: 2 shard processes behind miras-router, a seeded
+# 2000-request Zipf trace with zero tolerated 5xx (summary lands in
+# LOADGEN_<date>.json), and a drain→rehydrate byte-identity round-trip
+# across two processes sharing a spill directory.
+loadgen-demo:
+	./scripts/loadgen_demo.sh

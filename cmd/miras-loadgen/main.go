@@ -1,0 +1,97 @@
+// Command miras-loadgen replays a ReqBench-style trace against a
+// miras-server or miras-router and reports latency quantiles, throughput,
+// and error rates as JSON:
+//
+//	miras-loadgen -target http://127.0.0.1:8080 \
+//	  -requests 2000 -sessions 32 -concurrency 16 -skew zipf -seed 7
+//
+// The trace is deterministic in the seed: a fixed session population and
+// a step/info request mix whose session choice is uniform or Zipf-skewed.
+// The replay is closed-loop at the configured concurrency. The summary
+// goes to stdout (and -out); -bench-out additionally writes the pinned
+// quantiles as BENCH_*.json-shaped rows so the serving numbers ride the
+// same trajectory as the micro-benchmarks. With -fail-on-5xx the exit
+// status enforces a zero-5xx run — the CI contract.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"miras/internal/checkpoint"
+	"miras/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "miras-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	target := flag.String("target", "", "base URL of a miras-server or miras-router (required)")
+	requests := flag.Int("requests", 1000, "trace length")
+	sessions := flag.Int("sessions", 16, "session population size")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	skew := flag.String("skew", "uniform", "session mix: uniform or zipf")
+	zipfS := flag.Float64("zipf-s", 1.2, "Zipf exponent (> 1)")
+	stepShare := flag.Float64("step-share", 0.92, "fraction of ops that are steps (rest are info reads)")
+	seed := flag.Int64("seed", 1, "trace seed")
+	ensemble := flag.String("ensemble", "toy", "ensemble for created sessions")
+	budget := flag.Int("budget", 6, "consumer budget for created sessions")
+	windowSec := flag.Float64("window-sec", 10, "control window for created sessions")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	out := flag.String("out", "", "optional file for the JSON summary (stdout always gets it)")
+	benchOut := flag.String("bench-out", "", "optional file for BENCH-compatible quantile rows")
+	failOn5xx := flag.Bool("fail-on-5xx", false, "exit non-zero if any request answered 5xx")
+	flag.Parse()
+
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		Target:      *target,
+		Requests:    *requests,
+		Sessions:    *sessions,
+		Concurrency: *concurrency,
+		Skew:        *skew,
+		ZipfS:       *zipfS,
+		StepShare:   *stepShare,
+		Seed:        *seed,
+		Ensemble:    *ensemble,
+		Budget:      *budget,
+		WindowSec:   *windowSec,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	summary, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(summary))
+	if *out != "" {
+		if err := checkpoint.WriteFileAtomic(*out, append(summary, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *benchOut != "" {
+		rows, err := json.MarshalIndent(res.BenchRows(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.WriteFileAtomic(*benchOut, append(rows, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *failOn5xx && res.Error5xx > 0 {
+		return fmt.Errorf("%d requests answered 5xx (statuses %v)", res.Error5xx, res.Statuses)
+	}
+	return nil
+}

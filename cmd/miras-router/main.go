@@ -1,0 +1,101 @@
+// Command miras-router fronts a fleet of miras-server shard processes
+// with a consistent-hash ring: it mints session ids, forwards every
+// /v1/sessions/{id}/* request to the process that owns the id, merges
+// GET /v1/sessions pages across the fleet, and merges every shard's
+// /metrics into one exposition page with a shard label.
+//
+//	miras-server -addr 127.0.0.1:8081 \
+//	  -shard-self http://127.0.0.1:8081 \
+//	  -shard-peers http://127.0.0.1:8081,http://127.0.0.1:8082 &
+//	miras-server -addr 127.0.0.1:8082 \
+//	  -shard-self http://127.0.0.1:8082 \
+//	  -shard-peers http://127.0.0.1:8081,http://127.0.0.1:8082 &
+//	miras-router -addr 127.0.0.1:8080 \
+//	  -shards http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// The -shards list IS the ring: it must match the -shard-peers list the
+// shard processes were started with, order included — both sides derive
+// session ownership from that list independently, with no gossip. The
+// router holds no session state; run as many replicas as you like.
+//
+// The router shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests up to -shutdown-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"miras/internal/router"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "miras-router:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	shards := flag.String("shards", "",
+		"comma-separated shard base URLs (the ring member list; must match the shards' -shard-peers)")
+	upstreamTimeout := flag.Duration("upstream-timeout", 30*time.Second,
+		"per-forward deadline for reaching a shard")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second,
+		"grace period for draining requests on SIGINT/SIGTERM")
+	flag.Parse()
+
+	if *shards == "" {
+		return errors.New("-shards is required (comma-separated shard base URLs)")
+	}
+	members := strings.Split(*shards, ",")
+	for i := range members {
+		members[i] = strings.TrimRight(strings.TrimSpace(members[i]), "/")
+	}
+
+	rt, err := router.New(members,
+		router.WithClient(&http.Client{Timeout: *upstreamTimeout}))
+	if err != nil {
+		return err
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      90 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	fmt.Printf("miras-router listening on %s over %d shard(s)\n", *addr, len(members))
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("miras-router: draining…")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,6 +61,15 @@ func run() error {
 		"metrics sampling period for /v1/debug/timeseries and /debug/dash")
 	slowRequest := flag.Duration("slow-request", 10*time.Second,
 		"wall-clock span duration that counts as an anomaly and triggers a profile capture (0 disables)")
+	shards := flag.Int("shards", 8, "in-process session shard count")
+	shardSelf := flag.String("shard-self", "",
+		"this process's base URL in a multi-process shard topology (must appear in -shard-peers)")
+	shardPeers := flag.String("shard-peers", "",
+		"comma-separated base URLs of every shard process (the ring member list; must match the router's -shards)")
+	spillDir := flag.String("spill-dir", "",
+		"directory for eviction/drain snapshot spill; enables POST /v1/admin/drain and /v1/admin/rehydrate")
+	sweepInterval := flag.Duration("sweep-interval", 30*time.Second,
+		"how often to evict sessions past their TTL or idle bound (0 disables the sweeper)")
 	flag.Parse()
 
 	rec, err := obs.FileRecorder(*traceOut, *logLevel)
@@ -91,14 +101,39 @@ func run() error {
 	})
 	tsRing := obs.NewTimeSeriesRing(360)
 
-	srv := httpapi.NewServer(
+	opts := []httpapi.Option{
 		httpapi.WithMaxSessions(*maxSessions),
 		httpapi.WithMaxBodyBytes(*maxBodyBytes),
 		httpapi.WithRequestTimeout(*requestTimeout),
 		httpapi.WithTracer(tracer),
 		httpapi.WithProfiler(prof),
 		httpapi.WithTimeSeries(tsRing),
-	)
+		httpapi.WithShards(*shards),
+	}
+	if *spillDir != "" {
+		opts = append(opts, httpapi.WithSpillDir(*spillDir))
+	}
+	if *shardSelf != "" || *shardPeers != "" {
+		if *shardSelf == "" || *shardPeers == "" {
+			return errors.New("-shard-self and -shard-peers must be set together")
+		}
+		peers := strings.Split(*shardPeers, ",")
+		for i := range peers {
+			peers[i] = strings.TrimRight(strings.TrimSpace(peers[i]), "/")
+		}
+		self := strings.TrimRight(strings.TrimSpace(*shardSelf), "/")
+		found := false
+		for _, p := range peers {
+			if p == self {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("-shard-self %q is not in -shard-peers %v", self, peers)
+		}
+		opts = append(opts, httpapi.WithShardTopology(self, peers))
+	}
+	srv := httpapi.NewServer(opts...)
 	obs.RegisterProcessMetrics(srv.Registry())
 
 	mux := http.NewServeMux()
@@ -121,6 +156,21 @@ func run() error {
 	defer stop()
 
 	go tsRing.Run(ctx, srv.Registry(), *sampleInterval)
+
+	if *sweepInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(*sweepInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					srv.SweepExpired()
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.ListenAndServe() }()

@@ -34,9 +34,7 @@ func servingSessions(t testing.TB, n int) (*httptest.Server, []*session) {
 		if status := doRaw(t, c, "POST", "/v1/sessions/"+info.ID+"/step", StepRequest{}, nil); status != http.StatusOK {
 			t.Fatalf("warm-up step status %d", status)
 		}
-		srv.mu.RLock()
-		sessions[i] = srv.sessions[info.ID]
-		srv.mu.RUnlock()
+		sessions[i] = srv.sessionByID(info.ID)
 	}
 	return ts, sessions
 }

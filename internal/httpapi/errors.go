@@ -26,6 +26,15 @@ const (
 	// CodeSessionNotFound means the session id does not exist (never
 	// created, or already deleted).
 	CodeSessionNotFound ErrorCode = "session_not_found"
+	// CodeSessionExpired means the session existed but was evicted by its
+	// TTL or idle bound (HTTP 410). The id is remembered in a bounded
+	// tombstone ring, so very old evictions eventually degrade to
+	// session_not_found.
+	CodeSessionExpired ErrorCode = "session_expired"
+	// CodeWrongShard means this shard process does not own the session id
+	// (HTTP 421); the message names the owning shard's address so routers
+	// and clients can follow.
+	CodeWrongShard ErrorCode = "wrong_shard"
 	// CodeBadAllocation is a step whose allocation the environment rejects
 	// (wrong arity, negative counts, budget exceeded).
 	CodeBadAllocation ErrorCode = "bad_allocation"
@@ -46,6 +55,13 @@ const (
 	// CodeRequestTimeout means the handler did not finish within the
 	// server's request deadline (HTTP 408).
 	CodeRequestTimeout ErrorCode = "request_timeout"
+	// CodeInternal is a server-side failure (spill I/O, drain errors).
+	// Unlike the codes above its occurrences are environmental, so the
+	// golden test does not pin it.
+	CodeInternal ErrorCode = "internal"
+	// CodeUpstreamUnreachable is emitted by miras-router when the owning
+	// shard process cannot be reached (HTTP 502).
+	CodeUpstreamUnreachable ErrorCode = "upstream_unreachable"
 )
 
 // ErrorDetail is the payload inside the error envelope.
@@ -90,9 +106,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// validateID checks strings that arrive in URLs.
+// validateID checks strings that arrive in URLs. Session ids also name
+// spill-store directories, so path-walking names are rejected outright.
 func validateID(id string) error {
-	if id == "" || strings.ContainsAny(id, "/ ") {
+	if id == "" || id == "." || id == ".." ||
+		strings.ContainsAny(id, `/\ `) {
 		return fmt.Errorf("invalid session id %q", id)
 	}
 	return nil

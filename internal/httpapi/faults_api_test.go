@@ -8,9 +8,12 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"miras/internal/faults"
+	"miras/internal/shardring"
 )
 
 // rawDo issues a request with a literal body and returns status plus the
@@ -41,6 +44,37 @@ func TestErrorEnvelopeGolden(t *testing.T) {
 	defer limited.srv.Close()
 	c := newClient(t)
 	sess := c.createSession(4)
+
+	// session_expired fixture: a server on a fake clock, one session with a
+	// one-second TTL, clock marched past it.
+	var fakeNow atomic.Int64
+	fakeNow.Store(time.Unix(1000, 0).UnixNano())
+	expSrv := NewServer(WithClock(func() time.Time { return time.Unix(0, fakeNow.Load()) }))
+	expired := &client{t: t, srv: httptest.NewServer(expSrv.Handler())}
+	defer expired.srv.Close()
+	var expInfo SessionInfo
+	if status := expired.do("POST", "/v1/sessions",
+		CreateRequest{Ensemble: "toy", Budget: 4, TTLSeconds: 1}, &expInfo); status != http.StatusCreated {
+		t.Fatalf("expiring session create status %d", status)
+	}
+	fakeNow.Add(int64(2 * time.Second))
+
+	// wrong_shard fixture: a server that believes it is shard A of a
+	// two-process topology, asked for an id the ring assigns to shard B.
+	topoMembers := []string{"http://shard-a.example", "http://shard-b.example"}
+	topoRing, err := shardring.New(topoMembers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := ""
+	for i := 1; foreign == ""; i++ {
+		if id := fmt.Sprintf("zz%d", i); topoRing.Owner(id) == topoMembers[1] {
+			foreign = id
+		}
+	}
+	topoClient := &client{t: t, srv: httptest.NewServer(
+		NewServer(WithShardTopology(topoMembers[0], topoMembers)).Handler())}
+	defer topoClient.srv.Close()
 
 	envelope := func(code ErrorCode, msg string) string {
 		return fmt.Sprintf(`{"error":{"code":%q,"message":%q}}`+"\n", code, msg)
@@ -81,6 +115,19 @@ func TestErrorEnvelopeGolden(t *testing.T) {
 			name: "session_not_found", method: "GET", path: "/v1/sessions/zz",
 			wantStatus: 404,
 			wantBody:   envelope(CodeSessionNotFound, `no session "zz"`),
+		},
+		{
+			name: "session_expired", client: expired, method: "GET",
+			path:       "/v1/sessions/" + expInfo.ID,
+			wantStatus: 410,
+			wantBody:   envelope(CodeSessionExpired, fmt.Sprintf("session %q expired", expInfo.ID)),
+		},
+		{
+			name: "wrong_shard", client: topoClient, method: "GET",
+			path:       "/v1/sessions/" + foreign,
+			wantStatus: 421,
+			wantBody: envelope(CodeWrongShard, fmt.Sprintf(
+				"session %q is owned by shard %s", foreign, topoMembers[1])),
 		},
 		{
 			name: "bad_allocation", method: "POST", path: "/v1/sessions/" + sess.ID + "/step",
@@ -255,19 +302,6 @@ func TestCreateFailureAwareWithPlan(t *testing.T) {
 	}
 	if !strings.Contains(body, string(CodeBadFaultPlan)) {
 		t.Fatalf("bad plan create body %q, want code %q", body, CodeBadFaultPlan)
-	}
-}
-
-func TestDeprecatedMaxSessionsFieldStillHonored(t *testing.T) {
-	srv := NewServer()
-	srv.MaxSessions = 1
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-	c := &client{t: t, srv: ts}
-	c.createSession(4)
-	if status := c.do("POST", "/v1/sessions",
-		CreateRequest{Ensemble: "toy", Budget: 4}, nil); status != http.StatusTooManyRequests {
-		t.Fatalf("second session status %d, want 429", status)
 	}
 }
 

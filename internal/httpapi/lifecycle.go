@@ -1,0 +1,315 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+
+	"miras/internal/checkpoint"
+)
+
+// spillKeep is how many spill checkpoints each session's store retains;
+// eviction writes one per eviction, so history beyond the latest only
+// matters for forensics.
+const spillKeep = 3
+
+// SessionSummary is one row of GET /v1/sessions: placement and lifecycle
+// at a glance, without the full state vector.
+type SessionSummary struct {
+	ID       string `json:"id"`
+	Ensemble string `json:"ensemble"`
+	// Shard is the in-process shard index holding the session.
+	Shard   int `json:"shard"`
+	Windows int `json:"windows"`
+	// AgeSec and IdleSec are wall-clock seconds since creation and since
+	// the last request that touched the session.
+	AgeSec  float64 `json:"age_sec"`
+	IdleSec float64 `json:"idle_sec"`
+	// TTLSeconds and IdleTimeoutSeconds echo the session's lifecycle
+	// bounds (0 = unbounded).
+	TTLSeconds         float64 `json:"ttl_seconds,omitempty"`
+	IdleTimeoutSeconds float64 `json:"idle_timeout_seconds,omitempty"`
+	HasPolicy          bool    `json:"has_policy"`
+	Degraded           bool    `json:"degraded"`
+}
+
+// ListResponse is a page of sessions. NextPageToken, when set, is the
+// page_token for the next page; absent means the listing is exhausted.
+type ListResponse struct {
+	Sessions      []SessionSummary `json:"sessions"`
+	NextPageToken string           `json:"next_page_token,omitempty"`
+}
+
+// DrainResponse reports the sessions POST /v1/admin/drain spilled and
+// evicted, sorted by id.
+type DrainResponse struct {
+	Spilled []string `json:"spilled"`
+}
+
+// RehydrateResponse reports the spilled sessions POST /v1/admin/rehydrate
+// adopted (sorted by id) and, per id, why any could not be rebuilt.
+type RehydrateResponse struct {
+	Rehydrated []string          `json:"rehydrated"`
+	Failed     map[string]string `json:"failed,omitempty"`
+}
+
+// handleList serves GET /v1/sessions?limit=&page_token=. Sessions are
+// ordered lexicographically by id; page_token is the last id of the
+// previous page (exclusive). Listing does not touch the sessions' idle
+// clocks — an operator watching the fleet must not keep it alive.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 100
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("limit must be a positive integer, got %q", raw))
+			return
+		}
+		limit = n
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	token := q.Get("page_token")
+
+	now := s.now()
+	var live []*session
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for id, sess := range sh.sessions {
+			if id <= token && token != "" {
+				continue
+			}
+			if _, exp := sess.expired(now); exp {
+				continue // lazy eviction or the sweeper will reap it
+			}
+			live = append(live, sess)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].id < live[b].id })
+
+	page := live
+	more := false
+	if len(page) > limit {
+		page = page[:limit]
+		more = true
+	}
+	out := ListResponse{Sessions: make([]SessionSummary, 0, len(page))}
+	for _, sess := range page {
+		sess.mu.Lock()
+		out.Sessions = append(out.Sessions, SessionSummary{
+			ID:                 sess.id,
+			Ensemble:           sess.ensemble,
+			Shard:              sess.shardIdx,
+			Windows:            sess.windows,
+			AgeSec:             now.Sub(sess.createdAt).Seconds(),
+			IdleSec:            now.Sub(time.Unix(0, sess.lastAccess.Load())).Seconds(),
+			TTLSeconds:         sess.ttl.Seconds(),
+			IdleTimeoutSeconds: sess.idle.Seconds(),
+			HasPolicy:          sess.policy != nil,
+			Degraded:           sess.fallback != nil,
+		})
+		sess.mu.Unlock()
+	}
+	if more && len(page) > 0 {
+		out.NextPageToken = page[len(page)-1].id
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// spill writes sess's replayable snapshot to its per-id checkpoint store
+// under the server's spill directory.
+func (s *Server) spill(sess *session) error {
+	sess.mu.Lock()
+	snap := SessionSnapshot{Create: sess.create, Ops: sess.ops, Policy: sess.policy}
+	if snap.Ops == nil {
+		snap.Ops = []SessionOp{}
+	}
+	sess.mu.Unlock()
+	st, err := checkpoint.NewStore(filepath.Join(s.spillDir, sess.id), spillKeep)
+	if err != nil {
+		return err
+	}
+	return st.Save(int(s.spillSeq.Add(1)), snap)
+}
+
+// handleDrain spills every live session's snapshot to the spill store and
+// evicts it, so the process can be retired without losing state. Unlike
+// TTL/idle eviction, a drain spill failure aborts the drain — the
+// remaining sessions keep serving rather than vanish unspilled.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if s.spillDir == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("drain requires a spill directory (start the server with -spill-dir)"))
+		return
+	}
+	resp := DrainResponse{Spilled: []string{}}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		victims := make([]*session, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			victims = append(victims, sess)
+		}
+		sh.mu.RUnlock()
+		for _, sess := range victims {
+			// Spill before evicting: the session must not leave the
+			// registry until its snapshot is durable.
+			if err := s.spill(sess); err != nil {
+				s.spillErrors.Inc()
+				writeError(w, http.StatusInternalServerError, CodeInternal,
+					fmt.Errorf("drain: spill session %q: %w", sess.id, err))
+				return
+			}
+			if s.evictDrained(sh, sess) {
+				resp.Spilled = append(resp.Spilled, sess.id)
+			}
+		}
+	}
+	sort.Strings(resp.Spilled)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// evictDrained removes an already-spilled session (drain path — evict's
+// own spill is skipped by spilling first and removing here).
+func (s *Server) evictDrained(sh *shard, sess *session) bool {
+	sh.mu.Lock()
+	cur, ok := sh.sessions[sess.id]
+	if !ok || cur != sess {
+		sh.mu.Unlock()
+		return false
+	}
+	delete(sh.sessions, sess.id)
+	sh.tombs.add(sess.id)
+	sh.liveGauge.Set(float64(len(sh.sessions)))
+	sh.mu.Unlock()
+	s.live.Add(-1)
+	s.sessionsLive.Set(float64(s.live.Load()))
+	s.dropSessionObs(sess.id)
+	s.reg.Counter("miras_sessions_evicted_total",
+		"Sessions evicted, by shard and reason (ttl, idle, drain).",
+		"shard", strconv.Itoa(sh.idx), "reason", "drain").Inc()
+	return true
+}
+
+// handleRehydrate scans the spill directory and adopts every spilled
+// session this process owns, rebuilding each through the restore path
+// (fresh system from the snapshot's create request, operation log
+// replayed). Adopted sessions keep their original ids, shed their
+// tombstones, and their spill stores are deleted. Sessions the topology
+// assigns to another process are left on disk for their owner; sessions
+// that fail to rebuild are reported in "failed" and also left on disk.
+func (s *Server) handleRehydrate(w http.ResponseWriter, r *http.Request) {
+	if s.spillDir == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("rehydrate requires a spill directory (start the server with -spill-dir)"))
+		return
+	}
+	entries, err := os.ReadDir(s.spillDir)
+	if err != nil && !os.IsNotExist(err) {
+		writeError(w, http.StatusInternalServerError, CodeInternal,
+			fmt.Errorf("rehydrate: read spill directory: %w", err))
+		return
+	}
+	resp := RehydrateResponse{Rehydrated: []string{}, Failed: map[string]string{}}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		id := ent.Name()
+		if validateID(id) != nil {
+			continue // not a session spill store
+		}
+		if s.topo != nil && s.topo.ring.Owner(id) != s.topo.self {
+			continue // another process's session; leave it for its owner
+		}
+		if s.sessionByID(id) != nil {
+			continue // already live here
+		}
+		if err := s.rehydrateOne(id); err != nil {
+			resp.Failed[id] = err.Error()
+			continue
+		}
+		resp.Rehydrated = append(resp.Rehydrated, id)
+	}
+	sort.Strings(resp.Rehydrated)
+	if len(resp.Failed) == 0 {
+		resp.Failed = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rehydrateOne loads id's latest spill checkpoint and rebuilds the session
+// under its original id. The spill store is removed only after the session
+// is live again.
+func (s *Server) rehydrateOne(id string) error {
+	dir := filepath.Join(s.spillDir, id)
+	st, err := checkpoint.NewStore(dir, spillKeep)
+	if err != nil {
+		return err
+	}
+	var snap SessionSnapshot
+	if _, err := st.LoadLatest(&snap); err != nil {
+		return err
+	}
+
+	if n := s.live.Add(1); n > int64(s.maxSessions) {
+		s.live.Add(-1)
+		return fmt.Errorf("session limit %d reached", s.maxSessions)
+	}
+	release := func() {
+		s.live.Add(-1)
+		s.sessionsLive.Set(float64(s.live.Load()))
+	}
+	faultsTotal := s.reg.Counter("miras_faults_total",
+		"Fault events injected (episode activations and consumer crashes), by session.",
+		"session", id)
+	crashed := s.reg.Counter("miras_consumers_crashed",
+		"Consumers killed by fault injection, by session.",
+		"session", id)
+	built, code, err := s.buildFromSnapshot(snap, faultsTotal, crashed)
+	if err != nil {
+		s.reg.Remove("miras_faults_total", "session", id)
+		s.reg.Remove("miras_consumers_crashed", "session", id)
+		release()
+		return fmt.Errorf("%s: %w", code, err)
+	}
+	sess := &session{
+		id:          id,
+		ensemble:    built.req.Ensemble,
+		env:         built.env,
+		generator:   built.gen,
+		windows:     built.windows,
+		create:      built.req,
+		createdAt:   s.now(),
+		ttl:         time.Duration(built.req.TTLSeconds * float64(time.Second)),
+		idle:        time.Duration(built.req.IdleTimeoutSeconds * float64(time.Second)),
+		ops:         snap.Ops,
+		policy:      snap.Policy,
+		profiler:    s.profiler,
+		faultsTotal: faultsTotal,
+		crashed:     crashed,
+	}
+	sess.touch(sess.createdAt)
+	if code, err := s.insertSession(sess); err != nil {
+		if code != CodeBadRequest {
+			s.reg.Remove("miras_faults_total", "session", id)
+			s.reg.Remove("miras_consumers_crashed", "session", id)
+		}
+		release()
+		return err
+	}
+	sess.syncGauges()
+	s.sessionsLive.Set(float64(s.live.Load()))
+	// The session is live again; its spill store has served its purpose.
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("session %q rehydrated but spill store not removed: %w", id, err)
+	}
+	return nil
+}

@@ -206,9 +206,10 @@ func TestFallbackTriggersProfile(t *testing.T) {
 	if status := c.do("POST", "/v1/sessions/"+sess.ID+"/policy", testPolicy(2, 2), nil); status != http.StatusOK {
 		t.Fatalf("policy attach status %d", status)
 	}
-	srv.mu.Lock()
-	srv.sessions[sess.ID].policy.Actor.Layers[0].W.Data[0] = math.NaN()
-	srv.mu.Unlock()
+	poisoned := srv.sessionByID(sess.ID)
+	poisoned.mu.Lock()
+	poisoned.policy.Actor.Layers[0].W.Data[0] = math.NaN()
+	poisoned.mu.Unlock()
 
 	var step StepResponse
 	if status := c.do("POST", "/v1/sessions/"+sess.ID+"/step", StepRequest{}, &step); status != http.StatusOK {

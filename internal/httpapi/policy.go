@@ -21,6 +21,7 @@ import (
 	"miras/internal/faults"
 	"miras/internal/obs"
 	"miras/internal/rl"
+	"miras/internal/workload"
 )
 
 // recoveryProbes is how many consecutive healthy shadow evaluations a
@@ -227,6 +228,65 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
+// rebuiltSession is the outcome of replaying a SessionSnapshot into a
+// fresh emulated system.
+type rebuiltSession struct {
+	env     *env.Env
+	gen     *workload.Generator
+	windows int
+	// req is the snapshot's create request with the seed defaulted — what
+	// the rebuilt session's create field must hold so a later snapshot
+	// round-trips byte-identically.
+	req CreateRequest
+}
+
+// buildFromSnapshot rebuilds an emulated system from a snapshot: a fresh
+// system from the creation request, the operation log replayed in order,
+// the attached policy validated against the result. Shared by POST
+// …/restore and admin rehydrate — both owe their byte-identical round-trip
+// guarantee to this replay being deterministic.
+func (s *Server) buildFromSnapshot(snap SessionSnapshot, faultsTotal, crashed *obs.Counter) (rebuiltSession, ErrorCode, error) {
+	req := snap.Create
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	e, gen, _, err := s.buildSystem(req, faultsTotal, crashed)
+	if err != nil {
+		return rebuiltSession{}, CodeBadSnapshot, fmt.Errorf("snapshot create request: %w", err)
+	}
+	windows := 0
+	for i, op := range snap.Ops {
+		switch op.Kind {
+		case opKindStep:
+			if _, err := e.Step(op.Alloc); err != nil {
+				return rebuiltSession{}, CodeBadSnapshot, fmt.Errorf("replay op %d (step): %w", i, err)
+			}
+			windows++
+		case opKindReset:
+			e.Reset()
+		case opKindBurst:
+			if err := gen.InjectBurst(op.Counts); err != nil {
+				return rebuiltSession{}, CodeBadSnapshot, fmt.Errorf("replay op %d (burst): %w", i, err)
+			}
+		case opKindFaults:
+			if op.Plan == nil {
+				return rebuiltSession{}, CodeBadSnapshot, fmt.Errorf("replay op %d (faults): missing plan", i)
+			}
+			if err := e.Cluster().ScheduleFaults(*op.Plan); err != nil {
+				return rebuiltSession{}, CodeBadSnapshot, fmt.Errorf("replay op %d (faults): %w", i, err)
+			}
+		default:
+			return rebuiltSession{}, CodeBadSnapshot, fmt.Errorf("replay op %d: unknown kind %q", i, op.Kind)
+		}
+	}
+	if snap.Policy != nil {
+		if err := validatePolicyFor(snap.Policy, e); err != nil {
+			return rebuiltSession{}, CodeBadSnapshot, err
+		}
+	}
+	return rebuiltSession{env: e, gen: gen, windows: windows, req: req}, "", nil
+}
+
 // handleRestore rebuilds the session from a snapshot: a fresh emulated
 // system from the creation request, the operation log replayed in order.
 // The swap is atomic from the client's view — any failure leaves the
@@ -246,69 +306,26 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	span := obs.SpanFromContext(r.Context()).Child("session.restore").
 		Str("session", sess.id).Int("ops", len(snap.Ops))
 	defer span.End()
-	req := snap.Create
-	if req.Seed == 0 {
-		req.Seed = 1
-	}
-	e, gen, _, err := s.buildSystem(req, sess.faultsTotal, sess.crashed)
+	built, code, err := s.buildFromSnapshot(snap, sess.faultsTotal, sess.crashed)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
-			fmt.Errorf("snapshot create request: %w", err))
+		writeError(w, http.StatusUnprocessableEntity, code, err)
 		return
 	}
-	windows := 0
-	for i, op := range snap.Ops {
-		switch op.Kind {
-		case opKindStep:
-			if _, err := e.Step(op.Alloc); err != nil {
-				writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
-					fmt.Errorf("replay op %d (step): %w", i, err))
-				return
-			}
-			windows++
-		case opKindReset:
-			e.Reset()
-		case opKindBurst:
-			if err := gen.InjectBurst(op.Counts); err != nil {
-				writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
-					fmt.Errorf("replay op %d (burst): %w", i, err))
-				return
-			}
-		case opKindFaults:
-			if op.Plan == nil {
-				writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
-					fmt.Errorf("replay op %d (faults): missing plan", i))
-				return
-			}
-			if err := e.Cluster().ScheduleFaults(*op.Plan); err != nil {
-				writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
-					fmt.Errorf("replay op %d (faults): %w", i, err))
-				return
-			}
-		default:
-			writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot,
-				fmt.Errorf("replay op %d: unknown kind %q", i, op.Kind))
-			return
-		}
-	}
-	if snap.Policy != nil {
-		if err := validatePolicyFor(snap.Policy, e); err != nil {
-			writeError(w, http.StatusUnprocessableEntity, CodeBadSnapshot, err)
-			return
-		}
-	}
-	sess.env = e
-	sess.generator = gen
-	sess.ensemble = req.Ensemble
-	sess.create = req
+	sess.env = built.env
+	sess.generator = built.gen
+	sess.ensemble = built.req.Ensemble
+	sess.create = built.req
 	sess.ops = snap.Ops
-	sess.windows = windows
+	sess.windows = built.windows
 	sess.policy = snap.Policy
 	sess.fallback = nil
 	sess.healthyProbes = 0
 	sess.scratch = nil
 	sess.prev = env.StepResult{}
 	sess.havePrev = false
+	// The snapshot's lifecycle bounds replace the session's.
+	sess.ttl = time.Duration(built.req.TTLSeconds * float64(time.Second))
+	sess.idle = time.Duration(built.req.IdleTimeoutSeconds * float64(time.Second))
 	sess.syncGauges()
 	writeJSON(w, http.StatusOK, sessionInfo(sess))
 }

@@ -82,9 +82,10 @@ func TestPolicyFallbackAndRecovery(t *testing.T) {
 		t.Fatalf("policy attach status %d", status)
 	}
 	poison := func(v float64) {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
-		srv.sessions[sess.ID].policy.Actor.Layers[0].W.Data[0] = v
+		s := srv.sessionByID(sess.ID)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.policy.Actor.Layers[0].W.Data[0] = v
 	}
 	poison(math.NaN())
 

@@ -12,6 +12,7 @@
 //
 //	GET    /v1/ensembles              list built-in ensembles ([]EnsembleInfo)
 //	POST   /v1/sessions               create a session (CreateRequest → SessionInfo)
+//	GET    /v1/sessions               list sessions, paginated (limit, page_token → ListResponse)
 //	GET    /v1/sessions/{id}          session info (SessionInfo)
 //	POST   /v1/sessions/{id}/step     apply an allocation, advance a window (StepRequest → StepResponse)
 //	POST   /v1/sessions/{id}/reset    clear WIP ({"state": […]})
@@ -21,6 +22,8 @@
 //	GET    /v1/sessions/{id}/snapshot export replayable session state (SessionSnapshot)
 //	POST   /v1/sessions/{id}/restore  rebuild the session from a snapshot (SessionSnapshot → SessionInfo)
 //	DELETE /v1/sessions/{id}          destroy a session (204)
+//	POST   /v1/admin/drain            spill every session to the spill store and evict it (DrainResponse)
+//	POST   /v1/admin/rehydrate        adopt every spilled session from the spill store (RehydrateResponse)
 //
 // # Errors
 //
@@ -29,9 +32,38 @@
 //	{"error": {"code": "<stable code>", "message": "<human detail>"}}
 //
 // with one of the stable codes: bad_request, unknown_ensemble,
-// bad_session_config, session_limit, session_not_found, bad_allocation,
-// bad_burst, bad_fault_plan, bad_policy, bad_snapshot, body_too_large,
-// request_timeout. Clients branch on code; messages may change.
+// bad_session_config, session_limit, session_not_found, session_expired,
+// wrong_shard, bad_allocation, bad_burst, bad_fault_plan, bad_policy,
+// bad_snapshot, body_too_large, request_timeout. Clients branch on code;
+// messages may change (except as pinned by the golden envelope test).
+//
+// # Sharding
+//
+// The session registry is split into N in-process shards (WithShards), each
+// with its own lock and map; a session id's shard is picked by consistent
+// hashing (internal/shardring), so requests against unrelated sessions
+// never touch the same mutex. In multi-process mode (WithShardTopology)
+// every server process additionally knows the full shard-process ring: a
+// request for an id the process does not own is refused with HTTP 421
+// wrong_shard, naming the owning process's address so routers and clients
+// can follow. POST /v1/sessions accepts a pre-minted id via the
+// X-Miras-Session-Id header (set by miras-router); without it the process
+// mints ids from the shared sequence, skipping ids the topology assigns
+// elsewhere.
+//
+// # Session lifecycle
+//
+// CreateRequest.TTLSeconds bounds a session's wall-clock lifetime and
+// IdleTimeoutSeconds bounds the gap between requests; an expired session is
+// evicted lazily on access and by Server.SweepExpired (miras-server runs a
+// sweeper goroutine). Evicted ids are remembered in a per-shard tombstone
+// ring and answer 410 session_expired, distinguishing "expired" from
+// "never existed". When a spill store is configured (WithSpillDir),
+// eviction writes the session's SessionSnapshot to a crash-safe
+// checkpoint store; POST /v1/admin/drain spills and evicts every session
+// so the process can be retired, and POST /v1/admin/rehydrate on another
+// process sharing the directory rebuilds them byte-identically through the
+// restore path.
 //
 // # Self-healing serving
 //
@@ -59,6 +91,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"miras/internal/baselines"
@@ -67,32 +100,64 @@ import (
 	"miras/internal/faults"
 	"miras/internal/obs"
 	"miras/internal/rl"
+	"miras/internal/shardring"
 	"miras/internal/sim"
 	"miras/internal/workflow"
 	"miras/internal/workload"
 )
 
-// Server is the HTTP handler. It is safe for concurrent use: the server
-// lock guards only the session registry (reads take the shared side), and
-// each session carries its own lock serialising its emulated system (the
-// discrete-event engine is not concurrent). Requests against different
-// sessions therefore proceed fully in parallel — the serving hot path
-// never contends on a server-wide mutex.
-type Server struct {
-	mu       sync.RWMutex // guards sessions and nextID only
-	sessions map[string]*session
-	nextID   int
+// SessionIDHeader carries a pre-minted session id on POST /v1/sessions.
+// miras-router mints the id, picks the owning shard process from its hash
+// ring, and forwards the create with this header so the shard adopts the
+// router's id instead of minting its own.
+const SessionIDHeader = "X-Miras-Session-Id"
 
-	// MaxSessions bounds live sessions (default 64).
-	//
-	// Deprecated: pass WithMaxSessions to NewServer instead of mutating
-	// this field. It remains exported (and honored) for compatibility.
-	MaxSessions int
+// Server is the HTTP handler. It is safe for concurrent use: the session
+// registry is split across in-process shards, each guarding its own map
+// with its own lock (reads take the shared side), and each session carries
+// its own lock serialising its emulated system (the discrete-event engine
+// is not concurrent). Requests against different sessions therefore
+// proceed fully in parallel — the serving hot path never touches a
+// server-wide mutex, and sessions on different shards never even share a
+// registry lock.
+type Server struct {
+	// shards holds the in-process session shards; localRing maps a session
+	// id to its shard. Both are immutable after NewServer.
+	shards    []*shard
+	localRing *shardring.Ring
+
+	// topo, when non-nil, is the multi-process shard topology this process
+	// participates in (see WithShardTopology).
+	topo *topology
+
+	// nextID is the shared mint sequence for session ids ("s1", "s2", …).
+	// In topology mode every process walks the same sequence and keeps
+	// only the ids it owns, so processes never collide.
+	nextID atomic.Int64
+	// live counts sessions across all shards; the total session bound is
+	// enforced with a reserve-then-rollback on this counter, not a lock.
+	live atomic.Int64
+
+	// maxSessions bounds live sessions across all shards (default 64).
+	maxSessions int
+	// maxPerShard, when positive, additionally bounds each shard's live
+	// sessions — a skew guard for hot shards (0 disables).
+	maxPerShard int
+
+	// now is the server's clock (default time.Now); tests inject a fake to
+	// drive TTL and idle eviction deterministically.
+	now func() time.Time
+
+	// spillDir, when set, receives evicted sessions' snapshots in per-id
+	// crash-safe checkpoint stores (see WithSpillDir); spillSeq numbers the
+	// spill writes monotonically.
+	spillDir string
+	spillSeq atomic.Int64
 
 	// reg collects server metrics: per-endpoint request counters and
 	// latency histograms (added by instrument) plus per-session env/cluster
-	// gauges and fault counters. Scrape it via Registry().Handler() or
-	// obs.MountDebug.
+	// gauges, per-shard occupancy gauges, and fault counters. Scrape it via
+	// Registry().Handler() or obs.MountDebug.
 	reg *obs.Registry
 	// rec, when set, receives every session's simulation events.
 	rec *obs.Recorder
@@ -111,19 +176,77 @@ type Server struct {
 	tsRing       *obs.TimeSeriesRing
 	sessionsLive *obs.Gauge
 	windowsTotal *obs.Counter
+	spillErrors  *obs.Counter
 
 	// maxBodyBytes caps request-body size (default 64 MiB; ≤0 disables).
 	maxBodyBytes int64
 	// reqTimeout bounds handler execution (0 disables).
 	reqTimeout time.Duration
+
+	// pending options consumed by NewServer after the option loop.
+	optShards    int
+	optTopoSelf  string
+	optTopoPeers []string
+}
+
+// topology is the resolved multi-process shard ring.
+type topology struct {
+	self    string // this process's advertised address (a ring member)
+	selfIdx int
+	ring    *shardring.Ring
 }
 
 // Option configures a Server at construction.
 type Option func(*Server)
 
-// WithMaxSessions bounds the number of live sessions (default 64).
+// WithMaxSessions bounds the number of live sessions across all shards
+// (default 64).
 func WithMaxSessions(n int) Option {
-	return func(s *Server) { s.MaxSessions = n }
+	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithMaxSessionsPerShard additionally bounds each in-process shard's live
+// sessions — a guard against pathological key skew filling one shard's
+// memory. Zero (the default) disables the per-shard bound.
+func WithMaxSessionsPerShard(n int) Option {
+	return func(s *Server) { s.maxPerShard = n }
+}
+
+// WithShards sets the in-process shard count (default 8, minimum 1). More
+// shards mean less lock sharing between unrelated sessions; the count is
+// fixed for the server's lifetime.
+func WithShards(n int) Option {
+	return func(s *Server) { s.optShards = n }
+}
+
+// WithShardTopology declares the multi-process shard ring this server
+// participates in: members lists every shard process's advertised address
+// (the strings routers and clients dial) and self names this process's own
+// entry. Requests for session ids the topology assigns to another member
+// are refused with 421 wrong_shard naming the owner. NewServer panics if
+// self is not a member or the member list is invalid — a misconfigured
+// topology must not serve.
+func WithShardTopology(self string, members []string) Option {
+	return func(s *Server) {
+		s.optTopoSelf = self
+		s.optTopoPeers = append([]string(nil), members...)
+	}
+}
+
+// WithClock overrides the server's wall clock (default time.Now). Session
+// TTL and idle eviction are measured against this clock, so tests can march
+// time forward deterministically.
+func WithClock(now func() time.Time) Option {
+	return func(s *Server) { s.now = now }
+}
+
+// WithSpillDir enables eviction spill: every evicted or drained session's
+// SessionSnapshot is written to a crash-safe checkpoint store under
+// dir/<session id>/, from which POST /v1/admin/rehydrate (on this process
+// or any process sharing the directory) rebuilds the session through the
+// restore path. Empty disables spill.
+func WithSpillDir(dir string) Option {
+	return func(s *Server) { s.spillDir = dir }
 }
 
 // WithRegistry uses reg for all server metrics instead of a fresh registry
@@ -174,16 +297,27 @@ func WithRequestTimeout(d time.Duration) Option {
 }
 
 // session is one live environment. mu serialises every operation touching
-// the session's state; handlers lock it after resolving the id through the
-// server's registry lock, so sessions never contend with each other.
+// the session's state; handlers lock it after resolving the id through its
+// shard's registry lock, so sessions never contend with each other.
 type session struct {
 	mu sync.Mutex
 
 	id        string
 	ensemble  string
+	shardIdx  int
 	env       *env.Env
 	generator *workload.Generator
 	windows   int
+
+	// Lifecycle: createdAt is immutable after insert; lastAccess holds the
+	// wall time (UnixNano) of the most recent request that resolved this
+	// session, updated without the session lock so reads stay on the
+	// registry's shared path. ttl and idle are the create request's bounds
+	// (0 = unbounded).
+	createdAt  time.Time
+	lastAccess atomic.Int64
+	ttl        time.Duration
+	idle       time.Duration
 
 	// create is the effective creation request (defaults applied); the
 	// snapshot endpoint replays it to rebuild an equivalent session.
@@ -211,7 +345,7 @@ type session struct {
 	// anomaly profile when this session falls back to HPA.
 	profiler *obs.ProfileCapturer
 
-	// Per-session metrics, removed from the registry on DELETE.
+	// Per-session metrics, removed from the registry on DELETE/eviction.
 	wip            *obs.Gauge
 	inflight       *obs.Gauge
 	faultsTotal    *obs.Counter
@@ -220,13 +354,30 @@ type session struct {
 	recoveredTotal *obs.Counter
 }
 
+// touch records an access at now for idle-timeout accounting.
+func (sess *session) touch(now time.Time) { sess.lastAccess.Store(now.UnixNano()) }
+
+// expired reports whether the session has outlived its TTL or idle bound
+// at now, and which bound tripped ("ttl" or "idle").
+func (sess *session) expired(now time.Time) (string, bool) {
+	if sess.ttl > 0 && now.Sub(sess.createdAt) >= sess.ttl {
+		return "ttl", true
+	}
+	if sess.idle > 0 && now.Sub(time.Unix(0, sess.lastAccess.Load())) >= sess.idle {
+		return "idle", true
+	}
+	return "", false
+}
+
 // NewServer returns an empty server. With no options it uses a fresh
-// metrics registry and allows 64 concurrent sessions.
+// metrics registry, 8 in-process shards, and allows 64 concurrent
+// sessions.
 func NewServer(opts ...Option) *Server {
 	s := &Server{
-		sessions:     make(map[string]*session),
-		MaxSessions:  64,
+		maxSessions:  64,
 		maxBodyBytes: 64 << 20,
+		now:          time.Now,
+		optShards:    8,
 	}
 	for _, o := range opts {
 		o(s)
@@ -234,10 +385,45 @@ func NewServer(opts ...Option) *Server {
 	if s.reg == nil {
 		s.reg = obs.NewRegistry()
 	}
+	if s.optShards < 1 {
+		s.optShards = 1
+	}
+	members := make([]string, s.optShards)
+	for i := range members {
+		members[i] = "shard-" + strconv.Itoa(i)
+	}
+	ring, err := shardring.New(members, 0)
+	if err != nil {
+		panic("httpapi: local shard ring: " + err.Error())
+	}
+	s.localRing = ring
+	s.shards = make([]*shard, s.optShards)
+	for i := range s.shards {
+		s.shards[i] = newShard(i, s.reg)
+	}
+	if s.optTopoSelf != "" || len(s.optTopoPeers) > 0 {
+		ring, err := shardring.New(s.optTopoPeers, 0)
+		if err != nil {
+			panic("httpapi: shard topology: " + err.Error())
+		}
+		selfIdx := -1
+		for i, m := range s.optTopoPeers {
+			if m == s.optTopoSelf {
+				selfIdx = i
+			}
+		}
+		if selfIdx < 0 {
+			panic(fmt.Sprintf("httpapi: shard topology: self %q is not a member of %v",
+				s.optTopoSelf, s.optTopoPeers))
+		}
+		s.topo = &topology{self: s.optTopoSelf, selfIdx: selfIdx, ring: ring}
+	}
 	s.sessionsLive = s.reg.Gauge("miras_sessions_live",
 		"Live environment sessions.")
 	s.windowsTotal = s.reg.Counter("miras_env_windows_total",
 		"Control windows stepped, across all sessions.")
+	s.spillErrors = s.reg.Counter("miras_spill_errors_total",
+		"Eviction spill writes that failed.")
 	return s
 }
 
@@ -251,6 +437,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /v1/ensembles", s.instrument("ensembles", s.handleEnsembles))
 	mux.Handle("POST /v1/sessions", s.instrument("create", s.handleCreate))
+	mux.Handle("GET /v1/sessions", s.instrument("list", s.handleList))
 	mux.Handle("GET /v1/sessions/{id}", s.instrument("info", s.handleInfo))
 	mux.Handle("POST /v1/sessions/{id}/step", s.instrument("step", s.handleStep))
 	mux.Handle("POST /v1/sessions/{id}/reset", s.instrument("reset", s.handleReset))
@@ -260,6 +447,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/sessions/{id}/snapshot", s.instrument("snapshot", s.handleSnapshot))
 	mux.Handle("POST /v1/sessions/{id}/restore", s.instrument("restore", s.handleRestore))
 	mux.Handle("DELETE /v1/sessions/{id}", s.instrument("delete", s.handleDelete))
+	mux.Handle("POST /v1/admin/drain", s.instrument("drain", s.handleDrain))
+	mux.Handle("POST /v1/admin/rehydrate", s.instrument("rehydrate", s.handleRehydrate))
 	if ring := s.tracer.Ring(); ring != nil {
 		mux.Handle("GET /v1/debug/traces", ring.Handler())
 	}
@@ -340,6 +529,14 @@ type CreateRequest struct {
 	// Rates are per-workflow Poisson rates; defaults to the ensemble's
 	// standard background load.
 	Rates []float64 `json:"rates,omitempty"`
+	// TTLSeconds bounds the session's wall-clock lifetime: once exceeded
+	// the session is evicted (410 session_expired on later access). Zero
+	// means no lifetime bound.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// IdleTimeoutSeconds bounds the wall-clock gap between requests that
+	// touch the session; an idle session is evicted. Zero means no idle
+	// bound.
+	IdleTimeoutSeconds float64 `json:"idle_timeout_seconds,omitempty"`
 	// FailureAware widens the state vector to [WIP | effective capacity],
 	// exposing fault degradation to the agent (StateDim = 2·ActionDim).
 	FailureAware bool `json:"failure_aware,omitempty"`
@@ -353,11 +550,16 @@ type CreateRequest struct {
 type SessionInfo struct {
 	ID        string  `json:"id"`
 	Ensemble  string  `json:"ensemble"`
+	Shard     int     `json:"shard"`
 	StateDim  int     `json:"state_dim"`
 	ActionDim int     `json:"action_dim"`
 	Budget    int     `json:"budget"`
 	WindowSec float64 `json:"window_sec"`
 	Windows   int     `json:"windows"`
+	// TTLSeconds and IdleTimeoutSeconds echo the create request's
+	// lifecycle bounds (0 = unbounded).
+	TTLSeconds         float64 `json:"ttl_seconds,omitempty"`
+	IdleTimeoutSeconds float64 `json:"idle_timeout_seconds,omitempty"`
 	// FailureAware echoes the create flag.
 	FailureAware bool      `json:"failure_aware"`
 	State        []float64 `json:"state"`
@@ -436,6 +638,14 @@ func (s *Server) buildSystem(req CreateRequest, faultsTotal, crashed *obs.Counte
 	if !ok {
 		return nil, nil, CodeUnknownEnsemble, fmt.Errorf("unknown ensemble %q", req.Ensemble)
 	}
+	if req.TTLSeconds < 0 {
+		return nil, nil, CodeBadSessionConfig,
+			fmt.Errorf("ttl_seconds must be non-negative, got %g", req.TTLSeconds)
+	}
+	if req.IdleTimeoutSeconds < 0 {
+		return nil, nil, CodeBadSessionConfig,
+			fmt.Errorf("idle_timeout_seconds must be non-negative, got %g", req.IdleTimeoutSeconds)
+	}
 	engine := sim.NewEngine()
 	streams := sim.NewStreams(req.Seed)
 	copts := []cluster.Option{cluster.WithFaultMetrics(faultsTotal, crashed)}
@@ -484,16 +694,39 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		req.Seed = 1
 	}
 
-	// Build the whole emulated system under the lock: construction is
-	// cheap, and the per-session fault counters need the reserved id.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.sessions) >= s.MaxSessions {
+	// Resolve the id first: a router-minted id arrives in the header and
+	// must belong to this process; otherwise mint from the shared sequence.
+	id := r.Header.Get(SessionIDHeader)
+	if id != "" {
+		if err := validateID(id); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+			return
+		}
+		if s.topo != nil {
+			if owner := s.topo.ring.Owner(id); owner != s.topo.self {
+				writeError(w, http.StatusMisdirectedRequest, CodeWrongShard,
+					fmt.Errorf("session %q is owned by shard %s", id, owner))
+				return
+			}
+		}
+	}
+
+	// Reserve a slot against the global bound — an atomic reserve-then-
+	// rollback, so creates on different shards never share a lock.
+	if n := s.live.Add(1); n > int64(s.maxSessions) {
+		s.live.Add(-1)
 		writeError(w, http.StatusTooManyRequests, CodeSessionLimit,
-			fmt.Errorf("session limit %d reached", s.MaxSessions))
+			fmt.Errorf("session limit %d reached", s.maxSessions))
 		return
 	}
-	id := "s" + strconv.Itoa(s.nextID+1)
+	release := func() {
+		s.live.Add(-1)
+		s.sessionsLive.Set(float64(s.live.Load()))
+	}
+
+	if id == "" {
+		id = s.mintID()
+	}
 	faultsTotal := s.reg.Counter("miras_faults_total",
 		"Fault events injected (episode activations and consumer crashes), by session.",
 		"session", id)
@@ -505,54 +738,39 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.reg.Remove("miras_faults_total", "session", id)
 		s.reg.Remove("miras_consumers_crashed", "session", id)
-		status := http.StatusBadRequest
-		writeError(w, status, code, err)
+		release()
+		writeError(w, http.StatusBadRequest, code, err)
 		return
 	}
 
-	s.nextID++
 	sess := &session{
 		id:          id,
 		ensemble:    req.Ensemble,
 		env:         e,
 		generator:   gen,
 		create:      req,
+		createdAt:   s.now(),
+		ttl:         time.Duration(req.TTLSeconds * float64(time.Second)),
+		idle:        time.Duration(req.IdleTimeoutSeconds * float64(time.Second)),
 		profiler:    s.profiler,
 		faultsTotal: faultsTotal,
 		crashed:     crashed,
 	}
-	sess.wip = s.reg.Gauge("miras_env_wip",
-		"Total work-in-progress (queued + in-service tasks), by session.",
-		"session", sess.id)
-	sess.inflight = s.reg.Gauge("miras_cluster_inflight",
-		"Live (incomplete) workflow instances, by session.",
-		"session", sess.id)
-	sess.fallbackTotal = s.reg.Counter("miras_controller_fallback_total",
-		"Policy failures that degraded the session to the HPA baseline, by session.",
-		"session", sess.id)
-	sess.recoveredTotal = s.reg.Counter("miras_controller_recovered_total",
-		"Policies restored to control after passing health probes, by session.",
-		"session", sess.id)
-	s.sessions[sess.id] = sess
-	sess.syncGauges()
-	s.sessionsLive.Set(float64(len(s.sessions)))
-	writeJSON(w, http.StatusCreated, sessionInfo(sess))
-}
-
-// lookup resolves a session id under the registry's read lock, writing the
-// session_not_found envelope when it is absent. The lock is released before
-// returning; callers take the session's own lock before touching its state.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
-	id := r.PathValue("id")
-	s.mu.RLock()
-	sess, ok := s.sessions[id]
-	s.mu.RUnlock()
-	if !ok {
-		writeError(w, http.StatusNotFound, CodeSessionNotFound,
-			fmt.Errorf("no session %q", id))
-		return nil, false
+	sess.touch(sess.createdAt)
+	if code, err := s.insertSession(sess); err != nil {
+		s.reg.Remove("miras_faults_total", "session", id)
+		s.reg.Remove("miras_consumers_crashed", "session", id)
+		release()
+		status := http.StatusBadRequest
+		if code == CodeSessionLimit {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, code, err)
+		return
 	}
-	return sess, true
+	sess.syncGauges()
+	s.sessionsLive.Set(float64(s.live.Load()))
+	writeJSON(w, http.StatusCreated, sessionInfo(sess))
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
@@ -571,23 +789,26 @@ func sessionInfo(sess *session) SessionInfo {
 	c := sess.env.Cluster()
 	v := c.FaultView()
 	return SessionInfo{
-		ID:           sess.id,
-		Ensemble:     sess.ensemble,
-		StateDim:     sess.env.StateDim(),
-		ActionDim:    sess.env.ActionDim(),
-		Budget:       sess.env.Budget(),
-		WindowSec:    sess.env.WindowSec(),
-		Windows:      sess.windows,
-		FailureAware: sess.env.FailureAware(),
-		State:        sess.env.State(),
-		Consumers:    v.Consumers,
-		Crashed:      v.Crashed,
-		Redelivered:  v.Redelivered,
-		Dropped:      v.Dropped,
-		FaultSpecs:   c.FaultSpecs(),
-		ActiveFaults: c.ActiveFaults(),
-		HasPolicy:    sess.policy != nil,
-		Degraded:     sess.fallback != nil,
+		ID:                 sess.id,
+		Ensemble:           sess.ensemble,
+		Shard:              sess.shardIdx,
+		StateDim:           sess.env.StateDim(),
+		ActionDim:          sess.env.ActionDim(),
+		Budget:             sess.env.Budget(),
+		WindowSec:          sess.env.WindowSec(),
+		Windows:            sess.windows,
+		TTLSeconds:         sess.ttl.Seconds(),
+		IdleTimeoutSeconds: sess.idle.Seconds(),
+		FailureAware:       sess.env.FailureAware(),
+		State:              sess.env.State(),
+		Consumers:          v.Consumers,
+		Crashed:            v.Crashed,
+		Redelivered:        v.Redelivered,
+		Dropped:            v.Dropped,
+		FaultSpecs:         c.FaultSpecs(),
+		ActiveFaults:       c.ActiveFaults(),
+		HasPolicy:          sess.policy != nil,
+		Degraded:           sess.fallback != nil,
 	}
 }
 
@@ -708,25 +929,22 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := r.PathValue("id")
-	if _, ok := s.sessions[id]; !ok {
-		writeError(w, http.StatusNotFound, CodeSessionNotFound,
-			fmt.Errorf("no session %q", id))
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+		sh.liveGauge.Set(float64(len(sh.sessions)))
+	}
+	sh.mu.Unlock()
+	if !ok {
+		s.writeMiss(w, sh, id)
 		return
 	}
-	delete(s.sessions, id)
-	s.reg.Remove("miras_env_wip", "session", id)
-	s.reg.Remove("miras_cluster_inflight", "session", id)
-	s.reg.Remove("miras_faults_total", "session", id)
-	s.reg.Remove("miras_consumers_crashed", "session", id)
-	s.reg.Remove("miras_controller_fallback_total", "session", id)
-	s.reg.Remove("miras_controller_recovered_total", "session", id)
-	// Evict the session's spans from the trace ring; the time-series ring
-	// prunes its removed registry series on its next sample.
-	s.tracer.Ring().DropSession(id)
-	s.sessionsLive.Set(float64(len(s.sessions)))
+	s.live.Add(-1)
+	s.dropSessionObs(id)
+	s.sessionsLive.Set(float64(s.live.Load()))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -738,9 +956,7 @@ func (sess *session) syncGauges() {
 	sess.inflight.Set(float64(c.InFlight()))
 }
 
-// SessionCount returns the number of live sessions.
+// SessionCount returns the number of live sessions across all shards.
 func (s *Server) SessionCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sessions)
+	return int(s.live.Load())
 }

@@ -1,0 +1,261 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"miras/internal/obs"
+)
+
+// tombstoneCap bounds each shard's memory of evicted session ids. A ring
+// this size remembers the last 1024 evictions per shard — enough that any
+// client still holding an evicted id sees 410 session_expired rather than
+// 404, without letting a churny workload grow the set forever.
+const tombstoneCap = 1024
+
+// shard is one partition of the session registry: its own map, its own
+// lock, its own occupancy gauge, its own tombstone ring. A session id's
+// shard is fixed by consistent hashing, so two requests contend on a shard
+// lock only when their sessions hash together.
+type shard struct {
+	idx       int
+	mu        sync.RWMutex
+	sessions  map[string]*session
+	tombs     tombstones
+	liveGauge *obs.Gauge
+}
+
+func newShard(idx int, reg *obs.Registry) *shard {
+	return &shard{
+		idx:      idx,
+		sessions: make(map[string]*session),
+		tombs:    tombstones{set: make(map[string]struct{}, tombstoneCap)},
+		liveGauge: reg.Gauge("miras_shard_sessions",
+			"Live sessions, by in-process shard.", "shard", strconv.Itoa(idx)),
+	}
+}
+
+// tombstones is a bounded FIFO memory of evicted session ids, guarded by
+// the owning shard's lock.
+type tombstones struct {
+	ring []string
+	next int
+	set  map[string]struct{}
+}
+
+func (t *tombstones) add(id string) {
+	if _, ok := t.set[id]; ok {
+		return
+	}
+	if len(t.ring) < tombstoneCap {
+		t.ring = append(t.ring, id)
+	} else {
+		delete(t.set, t.ring[t.next])
+		t.ring[t.next] = id
+		t.next = (t.next + 1) % tombstoneCap
+	}
+	t.set[id] = struct{}{}
+}
+
+func (t *tombstones) has(id string) bool {
+	_, ok := t.set[id]
+	return ok
+}
+
+// remove forgets id, so a rehydrated (or re-created) session stops
+// answering 410. The ring slot is left in place and simply misses the set
+// when it is eventually overwritten.
+func (t *tombstones) remove(id string) {
+	delete(t.set, id)
+}
+
+// shardFor returns the in-process shard owning id.
+func (s *Server) shardFor(id string) *shard {
+	return s.shards[s.localRing.OwnerIndex(id)]
+}
+
+// mintID draws the next session id from the shared sequence. In topology
+// mode, ids the topology assigns to other processes are skipped, so every
+// process walking the same sequence mints from disjoint namespaces without
+// coordination.
+func (s *Server) mintID() string {
+	for {
+		id := "s" + strconv.FormatInt(s.nextID.Add(1), 10)
+		if s.topo != nil && s.topo.ring.Owner(id) != s.topo.self {
+			continue
+		}
+		return id
+	}
+}
+
+// insertSession registers the session's remaining metric series and
+// inserts it into its shard, enforcing the per-shard bound and id
+// uniqueness. The caller has already reserved a slot against the global
+// bound. On CodeBadRequest (duplicate id) the caller must NOT remove the
+// session's fault counters — they alias the live session's series.
+func (s *Server) insertSession(sess *session) (ErrorCode, error) {
+	sh := s.shardFor(sess.id)
+	sess.shardIdx = sh.idx
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.sessions[sess.id]; exists {
+		return CodeBadRequest, fmt.Errorf("session %q already exists", sess.id)
+	}
+	if s.maxPerShard > 0 && len(sh.sessions) >= s.maxPerShard {
+		return CodeSessionLimit,
+			fmt.Errorf("shard %d session limit %d reached", sh.idx, s.maxPerShard)
+	}
+	sess.wip = s.reg.Gauge("miras_env_wip",
+		"Total work-in-progress (queued + in-service tasks), by session.",
+		"session", sess.id)
+	sess.inflight = s.reg.Gauge("miras_cluster_inflight",
+		"Live (incomplete) workflow instances, by session.",
+		"session", sess.id)
+	sess.fallbackTotal = s.reg.Counter("miras_controller_fallback_total",
+		"Policy failures that degraded the session to the HPA baseline, by session.",
+		"session", sess.id)
+	sess.recoveredTotal = s.reg.Counter("miras_controller_recovered_total",
+		"Policies restored to control after passing health probes, by session.",
+		"session", sess.id)
+	sh.tombs.remove(sess.id)
+	sh.sessions[sess.id] = sess
+	sh.liveGauge.Set(float64(len(sh.sessions)))
+	return "", nil
+}
+
+// lookup resolves the request's {id} to a live session, handling the full
+// miss ladder (expired → tombstoned → wrong shard → not found) and
+// touching the session's idle clock. The shard lock is released before
+// returning; callers take the session's own lock before touching its
+// state.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	return s.resolve(w, r.PathValue("id"))
+}
+
+func (s *Server) resolve(w http.ResponseWriter, id string) (*session, bool) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	sess, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if !ok {
+		s.writeMiss(w, sh, id)
+		return nil, false
+	}
+	now := s.now()
+	if reason, exp := sess.expired(now); exp {
+		s.evict(sh, sess, reason)
+		writeError(w, http.StatusGone, CodeSessionExpired,
+			fmt.Errorf("session %q expired", id))
+		return nil, false
+	}
+	sess.touch(now)
+	return sess, true
+}
+
+// writeMiss explains an absent id: evicted sessions answer 410 from the
+// tombstone ring; in topology mode, ids owned by another shard process
+// answer 421 naming the owner so routers and clients can follow; everything
+// else is a plain 404. A session present locally is always served, even if
+// the topology says another process owns it — rehydrated sessions must stay
+// reachable wherever they were adopted.
+func (s *Server) writeMiss(w http.ResponseWriter, sh *shard, id string) {
+	sh.mu.RLock()
+	tomb := sh.tombs.has(id)
+	sh.mu.RUnlock()
+	if tomb {
+		writeError(w, http.StatusGone, CodeSessionExpired,
+			fmt.Errorf("session %q expired", id))
+		return
+	}
+	if s.topo != nil {
+		if owner := s.topo.ring.Owner(id); owner != s.topo.self {
+			writeError(w, http.StatusMisdirectedRequest, CodeWrongShard,
+				fmt.Errorf("session %q is owned by shard %s", id, owner))
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, CodeSessionNotFound,
+		fmt.Errorf("no session %q", id))
+}
+
+// evict removes sess from its shard, tombstones the id, spills the
+// session's snapshot when a spill store is configured (best-effort —
+// failures increment miras_spill_errors_total), and drops the session's
+// metric and trace series. Reports whether this call performed the
+// eviction (false when a concurrent evict/delete got there first).
+func (s *Server) evict(sh *shard, sess *session, reason string) bool {
+	sh.mu.Lock()
+	cur, ok := sh.sessions[sess.id]
+	if !ok || cur != sess {
+		sh.mu.Unlock()
+		return false
+	}
+	delete(sh.sessions, sess.id)
+	sh.tombs.add(sess.id)
+	sh.liveGauge.Set(float64(len(sh.sessions)))
+	sh.mu.Unlock()
+	s.live.Add(-1)
+	s.sessionsLive.Set(float64(s.live.Load()))
+	if s.spillDir != "" {
+		if err := s.spill(sess); err != nil {
+			s.spillErrors.Inc()
+		}
+	}
+	s.dropSessionObs(sess.id)
+	s.reg.Counter("miras_sessions_evicted_total",
+		"Sessions evicted, by shard and reason (ttl, idle, drain).",
+		"shard", strconv.Itoa(sh.idx), "reason", reason).Inc()
+	return true
+}
+
+// SweepExpired evicts every session past its TTL or idle bound, returning
+// the number evicted. miras-server runs this on a ticker; lazy eviction in
+// resolve catches the rest.
+func (s *Server) SweepExpired() int {
+	now := s.now()
+	n := 0
+	for _, sh := range s.shards {
+		var victims []*session
+		var reasons []string
+		sh.mu.RLock()
+		for _, sess := range sh.sessions {
+			if reason, exp := sess.expired(now); exp {
+				victims = append(victims, sess)
+				reasons = append(reasons, reason)
+			}
+		}
+		sh.mu.RUnlock()
+		for i, sess := range victims {
+			if s.evict(sh, sess, reasons[i]) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// sessionByID returns the live session for id, or nil. It does not touch
+// the idle clock and skips the miss ladder — registry access for tests and
+// the rehydrate duplicate check.
+func (s *Server) sessionByID(id string) *session {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.sessions[id]
+}
+
+// dropSessionObs removes the session's per-session metric series and trace
+// spans after it leaves the registry.
+func (s *Server) dropSessionObs(id string) {
+	s.reg.Remove("miras_env_wip", "session", id)
+	s.reg.Remove("miras_cluster_inflight", "session", id)
+	s.reg.Remove("miras_faults_total", "session", id)
+	s.reg.Remove("miras_consumers_crashed", "session", id)
+	s.reg.Remove("miras_controller_fallback_total", "session", id)
+	s.reg.Remove("miras_controller_recovered_total", "session", id)
+	// Evict the session's spans from the trace ring; the time-series ring
+	// prunes its removed registry series on its next sample.
+	s.tracer.Ring().DropSession(id)
+}

@@ -1,0 +1,414 @@
+// Package router implements miras-router: the thin coordinator in front of
+// a fleet of miras-server shard processes. The router owns nothing but the
+// consistent-hash ring (shared derivation with the shards — no gossip, no
+// state): it forwards every /v1/sessions/{id}/* request to the process the
+// ring assigns the id to, mints ids for POST /v1/sessions and forwards the
+// create to the minted id's owner, fans GET /v1/sessions out to every
+// shard and merges the pages, and merges every shard's /metrics into one
+// exposition page with a shard label.
+//
+// The router is deliberately dumb: it holds no session state, so any
+// number of router replicas can front the same fleet, and a router restart
+// loses nothing. Shard membership is fixed at startup — resizing the fleet
+// is a drain/rehydrate operation on the shards, not a router concern.
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"miras/internal/httpapi"
+	"miras/internal/obs"
+	"miras/internal/shardring"
+)
+
+// Router forwards v1 API traffic to the owning shard process. Safe for
+// concurrent use.
+type Router struct {
+	ring   *shardring.Ring
+	shards []string
+	client *http.Client
+	reg    *obs.Registry
+	nextID atomic.Int64
+
+	reqs     map[string]*obs.Counter // forwards by shard
+	upErrs   map[string]*obs.Counter // unreachable upstreams by shard
+	duration *obs.Histogram
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithClient overrides the HTTP client used to reach shards (timeouts,
+// transport tuning).
+func WithClient(c *http.Client) Option {
+	return func(rt *Router) { rt.client = c }
+}
+
+// WithRegistry uses reg for the router's own metrics.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(rt *Router) { rt.reg = reg }
+}
+
+// New builds a router over the shard processes at the given base URLs
+// (e.g. "http://10.0.0.1:8080"). The URL list is the ring member list and
+// must match the -shard-peers list every shard was started with — both
+// sides derive ownership from it independently.
+func New(shards []string, opts ...Option) (*Router, error) {
+	ring, err := shardring.New(shards, 0)
+	if err != nil {
+		return nil, fmt.Errorf("router: %w", err)
+	}
+	rt := &Router{
+		ring:   ring,
+		shards: append([]string(nil), shards...),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.reg == nil {
+		rt.reg = obs.NewRegistry()
+	}
+	rt.reqs = make(map[string]*obs.Counter, len(shards))
+	rt.upErrs = make(map[string]*obs.Counter, len(shards))
+	for _, sh := range shards {
+		rt.reqs[sh] = rt.reg.Counter("miras_router_requests_total",
+			"Requests forwarded, by shard.", "shard", sh)
+		rt.upErrs[sh] = rt.reg.Counter("miras_router_upstream_errors_total",
+			"Forwards that failed to reach their shard, by shard.", "shard", sh)
+	}
+	rt.duration = rt.reg.Histogram("miras_router_request_duration_seconds",
+		"End-to-end forwarded request latency.", nil)
+	return rt, nil
+}
+
+// Registry exposes the router's own metric registry.
+func (rt *Router) Registry() *obs.Registry { return rt.reg }
+
+// Handler returns the routed http.Handler.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", rt.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", rt.handleList)
+	mux.HandleFunc("/v1/sessions/{id}", rt.handleByID)
+	mux.HandleFunc("/v1/sessions/{id}/{op}", rt.handleByID)
+	mux.HandleFunc("GET /v1/ensembles", rt.handleEnsembles)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return mux
+}
+
+func writeError(w http.ResponseWriter, status int, code httpapi.ErrorCode, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(httpapi.ErrorEnvelope{
+		Error: httpapi.ErrorDetail{Code: code, Message: err.Error()},
+	})
+}
+
+// forward proxies the request to shard, preserving method, path, query,
+// body, and headers both ways. Transport failures become 502
+// upstream_unreachable envelopes — the uniform error surface clients
+// already parse.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string) {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		shard+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := rt.client.Do(req)
+	rt.reqs[shard].Inc()
+	if err != nil {
+		rt.upErrs[shard].Inc()
+		writeError(w, http.StatusBadGateway, httpapi.CodeUpstreamUnreachable,
+			fmt.Errorf("shard %s unreachable: %v", shard, err))
+		return
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	rt.duration.Observe(time.Since(start).Seconds())
+}
+
+// handleCreate mints the session id, picks its owner from the ring, and
+// forwards the create with the id in the X-Miras-Session-Id header so the
+// shard adopts it. Router-minted ids use the "r" namespace, disjoint from
+// the shards' own "s" sequence.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	id := "r" + strconv.FormatInt(rt.nextID.Add(1), 10)
+	r.Header.Set(httpapi.SessionIDHeader, id)
+	rt.forward(w, r, rt.ring.Owner(id))
+}
+
+// handleByID forwards any /v1/sessions/{id} or /v1/sessions/{id}/{op}
+// request to the id's owner.
+func (rt *Router) handleByID(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, rt.ring.Owner(r.PathValue("id")))
+}
+
+// handleEnsembles serves the static ensemble catalog from any shard (it is
+// identical everywhere); shards are tried in ring order until one answers.
+func (rt *Router) handleEnsembles(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, rt.shards[0])
+}
+
+// handleList fans GET /v1/sessions out to every shard and merges the
+// results into one id-ordered page. Each shard is asked for a full page
+// (the shard-side maximum), so the merged listing is exact as long as no
+// single shard holds more than 1000 sessions past the token.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 100
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				fmt.Errorf("limit must be a positive integer, got %q", raw))
+			return
+		}
+		limit = n
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	token := q.Get("page_token")
+
+	type shardPage struct {
+		page httpapi.ListResponse
+		err  error
+	}
+	pages := make([]shardPage, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh string) {
+			defer wg.Done()
+			url := sh + "/v1/sessions?limit=1000"
+			if token != "" {
+				url += "&page_token=" + token
+			}
+			resp, err := rt.client.Get(url)
+			rt.reqs[sh].Inc()
+			if err != nil {
+				rt.upErrs[sh].Inc()
+				pages[i].err = fmt.Errorf("shard %s unreachable: %v", sh, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				pages[i].err = fmt.Errorf("shard %s list status %d", sh, resp.StatusCode)
+				return
+			}
+			pages[i].err = json.NewDecoder(resp.Body).Decode(&pages[i].page)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	var merged []httpapi.SessionSummary
+	truncated := false
+	for _, p := range pages {
+		if p.err != nil {
+			writeError(w, http.StatusBadGateway, httpapi.CodeUpstreamUnreachable, p.err)
+			return
+		}
+		merged = append(merged, p.page.Sessions...)
+		if p.page.NextPageToken != "" {
+			truncated = true
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].ID < merged[b].ID })
+	out := httpapi.ListResponse{Sessions: merged}
+	if out.Sessions == nil {
+		out.Sessions = []httpapi.SessionSummary{}
+	}
+	if len(merged) > limit {
+		out.Sessions = merged[:limit]
+		truncated = true
+	}
+	if truncated && len(out.Sessions) > 0 {
+		out.NextPageToken = out.Sessions[len(out.Sessions)-1].ID
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleHealthz reports 200 only when every shard's /healthz answers 200,
+// with a per-shard breakdown either way.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	type health struct {
+		Shard string `json:"shard"`
+		OK    bool   `json:"ok"`
+	}
+	out := make([]health, len(rt.shards))
+	allOK := true
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh string) {
+			defer wg.Done()
+			out[i].Shard = sh
+			resp, err := rt.client.Get(sh + "/healthz")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				out[i].OK = resp.StatusCode == http.StatusOK
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, h := range out {
+		if !h.OK {
+			allOK = false
+		}
+	}
+	status := http.StatusOK
+	if !allOK {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{"ok": allOK, "shards": out})
+}
+
+// promFamily is one metric family reassembled during the merge: its
+// HELP/TYPE preamble and its sample lines, each already tagged with the
+// originating shard.
+type promFamily struct {
+	preamble []string
+	samples  []string
+}
+
+// handleMetrics merges every shard's /metrics into one exposition page:
+// each sample line gains a shard="<url>" label, families keep one
+// HELP/TYPE preamble (first shard's wins — they are identical by
+// construction), and the router's own metrics lead the page.
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	fams := make(map[string]*promFamily)
+	var order []string
+
+	type fetched struct {
+		shard string
+		body  string
+		err   error
+	}
+	results := make([]fetched, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh string) {
+			defer wg.Done()
+			results[i].shard = sh
+			resp, err := rt.client.Get(sh + "/metrics")
+			if err != nil {
+				rt.upErrs[sh].Inc()
+				results[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].body = string(raw)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	for _, res := range results {
+		if res.err != nil {
+			continue // the shard's absence shows in miras_router_upstream_errors_total
+		}
+		current := ""
+		for _, line := range strings.Split(res.body, "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "# ") {
+				// "# HELP name …" / "# TYPE name type"
+				parts := strings.SplitN(line, " ", 4)
+				if len(parts) < 3 {
+					continue
+				}
+				name := parts[2]
+				f, ok := fams[name]
+				if !ok {
+					f = &promFamily{}
+					fams[name] = f
+					order = append(order, name)
+				}
+				if parts[1] == "TYPE" {
+					current = name
+				}
+				if len(f.samples) == 0 && !containsLine(f.preamble, line) {
+					f.preamble = append(f.preamble, line)
+				}
+				continue
+			}
+			if current == "" {
+				continue
+			}
+			fams[current].samples = append(fams[current].samples,
+				injectShardLabel(line, res.shard))
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.reg.WritePrometheus(w)
+	sort.Strings(order)
+	var b strings.Builder
+	for _, name := range order {
+		f := fams[name]
+		for _, p := range f.preamble {
+			b.WriteString(p)
+			b.WriteByte('\n')
+		}
+		for _, s := range f.samples {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	_, _ = io.WriteString(w, b.String())
+}
+
+func containsLine(lines []string, line string) bool {
+	for _, l := range lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// injectShardLabel rewrites one exposition sample line so its label set
+// leads with shard="<addr>". Sample lines are either `name value` or
+// `name{labels} value`.
+func injectShardLabel(line, shard string) string {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if space < 0 {
+		return line // not a sample line; pass through
+	}
+	label := `shard="` + shard + `"`
+	if brace >= 0 && brace < space {
+		return line[:brace+1] + label + "," + line[brace+1:]
+	}
+	return line[:space] + "{" + label + "}" + line[space:]
+}
