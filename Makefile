@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo loadgen-demo
+.PHONY: build test vet race check bench bench-smoke wlcheck-smoke fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo loadgen-demo
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ bench-smoke:
 	$(GO) test -run 'TestPolicyDecideZeroAlloc' -count 1 ./internal/httpapi/
 	$(GO) test -run 'TestActToMatchesActZeroAlloc' -count 1 ./internal/rl/
 	$(GO) test -run 'TestTracerDisabledZeroAlloc' -count 1 ./internal/obs/
+
+# Machine-class workload checks: run every ci-small case under the class's
+# pinned GOMAXPROCS/GOMEMLIMIT, compare against declared budgets and the
+# recorded BENCH_*.json / LOADGEN_*.json trajectory, and fail on any
+# violation. The JSON report lands in wlcheck-report.json (CI uploads it
+# as an artifact).
+wlcheck-smoke:
+	$(GO) run ./cmd/miras-wlcheck -class ci-small -baseline-dir . -out wlcheck-report.json
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,122 @@
+// Command miras-wlcheck runs the workload-checks tree: declared machine
+// classes with per-case perf budgets, enforced as CI gates.
+//
+//	miras-wlcheck -class ci-small
+//	miras-wlcheck -class ci-small -case '^serve' -out wlcheck-report.json
+//	miras-wlcheck -list
+//
+// Each class directory (workload-checks/<class>/) declares the machine it
+// models (machine.yaml: GOMAXPROCS, GOMEMLIMIT, wall budget) and a set of
+// cases (cases/<name>/case.yaml: a workload, its knobs, per-metric budgets,
+// and an optional regression check against the recorded BENCH_*.json /
+// LOADGEN_*.json trajectory in -baseline-dir). The runner pins the class's
+// limits, executes every case in-process, and writes a machine-readable
+// JSON report to stdout (and -out).
+//
+// Exit status: 0 when every check passes, 1 when any budget, regression,
+// or wall check is violated, 2 on usage or execution errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+
+	"miras/internal/wlcheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("miras-wlcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksDir := fs.String("checks-dir", "workload-checks", "root of the workload-checks tree")
+	class := fs.String("class", "ci-small", "machine class to run")
+	baselineDir := fs.String("baseline-dir", ".", "directory holding BENCH_*.json / LOADGEN_*.json history")
+	caseRe := fs.String("case", "", "optional regexp filtering case names")
+	out := fs.String("out", "", "optional file for the JSON report (stdout always gets it)")
+	list := fs.Bool("list", false, "list classes and their cases, then exit")
+	noPin := fs.Bool("no-pin", false, "do not pin GOMAXPROCS/GOMEMLIMIT (debugging only; the report records it)")
+	quiet := fs.Bool("quiet", false, "suppress per-case progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "miras-wlcheck:", err)
+		return 2
+	}
+
+	if *list {
+		if err := listTree(stdout, *checksDir); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	opts := wlcheck.Options{
+		ChecksDir:   *checksDir,
+		Class:       *class,
+		BaselineDir: *baselineDir,
+		NoPin:       *noPin,
+	}
+	if !*quiet {
+		opts.Log = stderr
+	}
+	if *caseRe != "" {
+		re, err := regexp.Compile(*caseRe)
+		if err != nil {
+			return fail(fmt.Errorf("bad -case regexp: %w", err))
+		}
+		opts.CaseFilter = re
+	}
+
+	report, err := wlcheck.Run(opts)
+	if err != nil {
+		return fail(err)
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	raw = append(raw, '\n')
+	stdout.Write(raw)
+	if *out != "" {
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return fail(err)
+		}
+	}
+	if !report.Pass {
+		fmt.Fprintf(stderr, "miras-wlcheck: FAIL: %s\n", strings.Join(report.Violations, ", "))
+	}
+	return wlcheck.ExitCode(report)
+}
+
+func listTree(stdout io.Writer, checksDir string) error {
+	classes, err := wlcheck.ListClasses(checksDir)
+	if err != nil {
+		return err
+	}
+	if len(classes) == 0 {
+		fmt.Fprintf(stdout, "no classes under %s\n", checksDir)
+		return nil
+	}
+	for _, name := range classes {
+		cl, err := wlcheck.LoadClass(checksDir, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s (gomaxprocs=%d, gomemlimit=%dMB, wall=%gs)\n",
+			name, cl.Machine.GOMAXPROCS, cl.Machine.GOMemLimitMB, cl.Machine.WallBudgetSec)
+		for _, c := range cl.Cases {
+			fmt.Fprintf(stdout, "  %s: %s\n", c.Name, c.Workload)
+		}
+	}
+	return nil
+}

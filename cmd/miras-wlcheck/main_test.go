@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"miras/internal/wlcheck"
+)
+
+// checksDir resolves the committed workload-checks tree relative to this
+// package (cmd/miras-wlcheck -> repo root).
+func checksDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "workload-checks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ci-small", "machine.yaml")); err != nil {
+		t.Fatalf("committed workload-checks tree not found: %v", err)
+	}
+	return dir
+}
+
+// TestRegressionProofClassFails is the acceptance proof for the committed
+// deliberate-regression case: running the regression-proof class must exit
+// non-zero and the report must name the violation.
+func TestRegressionProofClassFails(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-checks-dir", checksDir(t),
+		"-class", "regression-proof",
+		"-baseline-dir", t.TempDir(),
+		"-out", out,
+		"-quiet",
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep wlcheck.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("report claims pass despite exit code 1")
+	}
+	if len(rep.Violations) != 1 || rep.Violations[0] != "impossible-budget/budget/ns_per_op" {
+		t.Fatalf("violations %v, want [impossible-budget/budget/ns_per_op]", rep.Violations)
+	}
+	// The -out file and stdout must carry the same report.
+	if !bytes.Equal(raw, stdout.Bytes()) {
+		t.Fatal("-out file and stdout disagree")
+	}
+	if !strings.Contains(stderr.String(), "impossible-budget/budget/ns_per_op") {
+		t.Fatalf("stderr does not name the violation: %s", stderr.String())
+	}
+}
+
+// TestCommittedTreeDecodes loads every committed class through the strict
+// decoder, so a bad edit to any machine.yaml or case.yaml fails tests, not
+// a nightly run.
+func TestCommittedTreeDecodes(t *testing.T) {
+	dir := checksDir(t)
+	classes, err := wlcheck.ListClasses(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 2 || classes[0] != "ci-small" || classes[1] != "regression-proof" {
+		t.Fatalf("classes %v, want [ci-small regression-proof]", classes)
+	}
+	cl, err := wlcheck.LoadClass(dir, "ci-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Cases) != 6 {
+		names := make([]string, len(cl.Cases))
+		for i, c := range cl.Cases {
+			names[i] = c.Name
+		}
+		t.Fatalf("ci-small has cases %v, want 6", names)
+	}
+	if _, err := wlcheck.LoadClass(dir, "regression-proof"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListFlag exercises -list against the committed tree.
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-checks-dir", checksDir(t), "-list"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"ci-small", "regression-proof", "impossible-budget: ddpg_update", "serve-sessions: serve_sessions"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestUsageErrors pins exit code 2 for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bogus-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-checks-dir", checksDir(t), "-class", "no-such-class"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing class: exit %d, want 2", code)
+	}
+	if code := run([]string{"-checks-dir", checksDir(t), "-class", "ci-small", "-case", "("}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad regexp: exit %d, want 2", code)
+	}
+}

@@ -16,12 +16,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"miras/internal/faults"
 	"miras/internal/httpapi"
 )
 
@@ -41,8 +43,15 @@ type Op struct {
 
 // Config describes a load run. Zero fields take the documented defaults.
 type Config struct {
-	// Target is the base URL of a miras-server or miras-router.
+	// Target is the base URL of a miras-server or miras-router. Optional
+	// when Transport is set (it defaults to "http://in-process": the URL
+	// then only shapes request paths).
 	Target string
+	// Transport, when non-nil, carries every request instead of the
+	// network — pass NewHandlerTransport(server.Handler()) to drive an
+	// httpapi.Server in-process. This is how workload checks replay
+	// traces without shelling out or binding ports.
+	Transport http.RoundTripper
 	// Requests is the trace length (default 1000).
 	Requests int
 	// Sessions is the session population size (default 16).
@@ -63,13 +72,28 @@ type Config struct {
 	Ensemble  string
 	Budget    int
 	WindowSec float64
+	// FailureAware and Faults are forwarded to session creation, so a
+	// run can measure the serving tier with an active fault plan.
+	FailureAware bool
+	Faults       *faults.Plan
+	// AutoStep omits the allocation from step requests, so the session's
+	// attached policy (or its HPA fallback) decides each window — the
+	// serving decide path instead of the caller-allocated one.
+	AutoStep bool
+	// SetupSession, when non-nil, runs once per created session before
+	// the replay starts (unmeasured) — e.g. to attach a policy for
+	// AutoStep runs.
+	SetupSession func(client *http.Client, info httpapi.SessionInfo) error
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
 }
 
 func (c *Config) withDefaults() error {
 	if c.Target == "" {
-		return fmt.Errorf("loadgen: Target is required")
+		if c.Transport == nil {
+			return fmt.Errorf("loadgen: Target is required")
+		}
+		c.Target = "http://in-process"
 	}
 	if c.Requests <= 0 {
 		c.Requests = 1000
@@ -207,7 +231,7 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	client := &http.Client{Timeout: cfg.Timeout}
+	client := &http.Client{Timeout: cfg.Timeout, Transport: cfg.Transport}
 
 	// Population setup (unmeasured).
 	ids := make([]string, cfg.Sessions)
@@ -219,6 +243,11 @@ func Run(cfg Config) (Result, error) {
 		}
 		ids[i] = info.ID
 		actionDim = info.ActionDim
+		if cfg.SetupSession != nil {
+			if err := cfg.SetupSession(client, info); err != nil {
+				return Result{}, fmt.Errorf("setup session %s: %w", info.ID, err)
+			}
+		}
 	}
 	defer func() {
 		for _, id := range ids {
@@ -234,17 +263,18 @@ func Run(cfg Config) (Result, error) {
 	}()
 
 	// One step body serves every step: the budget spread evenly over the
-	// action vector.
-	stepBody, err := json.Marshal(httpapi.StepRequest{Allocation: evenAllocation(cfg.Budget, actionDim)})
+	// action vector, or no allocation at all when the session's own
+	// controller should decide (AutoStep).
+	var alloc []int
+	if !cfg.AutoStep {
+		alloc = evenAllocation(cfg.Budget, actionDim)
+	}
+	stepBody, err := json.Marshal(httpapi.StepRequest{Allocation: alloc})
 	if err != nil {
 		return Result{}, err
 	}
 
 	// Closed-loop replay.
-	type sample struct {
-		ms     float64
-		status int
-	}
 	samples := make([]sample, len(trace))
 	ops := make(chan int, cfg.Concurrency)
 	var wg sync.WaitGroup
@@ -291,9 +321,22 @@ func Run(cfg Config) (Result, error) {
 	}
 	close(ops)
 	wg.Wait()
-	elapsed := time.Since(start)
+	return summarize(cfg, trace, samples, time.Since(start)), nil
+}
 
-	// Aggregate.
+// sample is one replayed request's outcome: latency and HTTP status, with
+// status 0 for a transport failure and -1 for a request that never left
+// the builder.
+type sample struct {
+	ms     float64
+	status int
+}
+
+// summarize aggregates a replay into its Result. It is total: an empty
+// trace, an all-error run, and a zero elapsed time all produce finite
+// numbers (zeros), never NaN — summaries feed budget comparisons, and NaN
+// passes no ordered comparison.
+func summarize(cfg Config, trace []Op, samples []sample, elapsed time.Duration) Result {
 	res := Result{
 		Target:      cfg.Target,
 		Requests:    cfg.Requests,
@@ -336,23 +379,27 @@ func Run(cfg Config) (Result, error) {
 	if elapsed > 0 {
 		res.ThroughputRPS = float64(len(trace)) / elapsed.Seconds()
 	}
-	res.ErrorRate = float64(res.Errors) / float64(len(trace))
-	hot := 0
-	for _, n := range perSession {
-		if n > hot {
-			hot = n
+	if len(trace) > 0 {
+		res.ErrorRate = float64(res.Errors) / float64(len(trace))
+		hot := 0
+		for _, n := range perSession {
+			if n > hot {
+				hot = n
+			}
 		}
+		res.HotShare = float64(hot) / float64(len(trace))
 	}
-	res.HotShare = float64(hot) / float64(len(trace))
-	return res, nil
+	return res
 }
 
 func createSession(client *http.Client, cfg Config) (httpapi.SessionInfo, error) {
 	body, err := json.Marshal(httpapi.CreateRequest{
-		Ensemble:  cfg.Ensemble,
-		Budget:    cfg.Budget,
-		WindowSec: cfg.WindowSec,
-		Seed:      cfg.Seed,
+		Ensemble:     cfg.Ensemble,
+		Budget:       cfg.Budget,
+		WindowSec:    cfg.WindowSec,
+		Seed:         cfg.Seed,
+		FailureAware: cfg.FailureAware,
+		Faults:       cfg.Faults,
 	})
 	if err != nil {
 		return httpapi.SessionInfo{}, err
@@ -393,17 +440,20 @@ func evenAllocation(budget, dim int) []int {
 }
 
 // quantile reads the q-quantile from sorted (ascending) latencies using
-// the nearest-rank method.
+// the textbook nearest-rank method: the smallest value v such that at
+// least ⌈q·n⌉ of the n samples are <= v. The result is always an element
+// of the set (no interpolation), and quantile(s, 1) is the maximum.
 func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(q*float64(len(sorted))+0.5) - 1
+	idx := int(math.Ceil(q*float64(n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
 	return sorted[idx]
 }

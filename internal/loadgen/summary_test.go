@@ -1,0 +1,260 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// refQuantile is the independent nearest-rank reference: the smallest
+// value v in the set such that at least ceil(q*n) samples are <= v,
+// computed by linear scan over the unsorted data.
+func refQuantile(unsorted []float64, q float64) float64 {
+	n := len(unsorted)
+	if n == 0 {
+		return 0
+	}
+	need := int(math.Ceil(q * float64(n)))
+	if need < 1 {
+		need = 1
+	}
+	best := math.Inf(1)
+	for _, v := range unsorted {
+		count := 0
+		for _, w := range unsorted {
+			if w <= v {
+				count++
+			}
+		}
+		if count >= need && v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// TestQuantilePropertyVsReference drives the production quantile against
+// the reference on random latency sets of random sizes, including
+// duplicates and heavy ties.
+func TestQuantilePropertyVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	qs := []float64{0.50, 0.90, 0.99}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		lat := make([]float64, n)
+		for i := range lat {
+			switch rng.Intn(3) {
+			case 0: // smooth
+				lat[i] = rng.Float64() * 100
+			case 1: // heavy ties
+				lat[i] = float64(rng.Intn(5))
+			default: // long tail
+				lat[i] = math.Exp(rng.Float64() * 8)
+			}
+		}
+		sorted := append([]float64(nil), lat...)
+		sort.Float64s(sorted)
+		for _, q := range qs {
+			got := quantile(sorted, q)
+			want := refQuantile(lat, q)
+			if got != want {
+				t.Fatalf("trial %d n=%d q=%g: quantile=%v, reference=%v (sorted=%v)",
+					trial, n, q, got, want, sorted)
+			}
+		}
+		// Invariants: monotone in q, bounded by min/max, member of set.
+		p50, p90, p99 := quantile(sorted, .5), quantile(sorted, .9), quantile(sorted, .99)
+		if p50 > p90 || p90 > p99 {
+			t.Fatalf("quantiles not monotone: %v %v %v", p50, p90, p99)
+		}
+		if p99 > sorted[n-1] || p50 < sorted[0] {
+			t.Fatalf("quantile out of range: p50=%v p99=%v min=%v max=%v",
+				p50, p99, sorted[0], sorted[n-1])
+		}
+	}
+}
+
+func TestQuantileSmallSets(t *testing.T) {
+	if got := quantile(nil, 0.99); got != 0 {
+		t.Fatalf("empty set: %v", got)
+	}
+	one := []float64{7}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if got := quantile(one, q); got != 7 {
+			t.Fatalf("singleton q=%g: %v", q, got)
+		}
+	}
+	two := []float64{1, 9}
+	if quantile(two, 0.5) != 1 || quantile(two, 0.99) != 9 {
+		t.Fatalf("pair: p50=%v p99=%v", quantile(two, 0.5), quantile(two, 0.99))
+	}
+}
+
+func mkConfig(requests, sessions int) Config {
+	return Config{
+		Target:   "http://test",
+		Requests: requests, Sessions: sessions,
+		Concurrency: 2, Skew: "uniform", Seed: 1,
+	}
+}
+
+// TestSummarizeAccountingProperty checks the error/throughput bookkeeping
+// on random status mixes: counts partition, rates are exact ratios, and
+// quantiles only see samples that produced an HTTP status.
+func TestSummarizeAccountingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	statuses := []int{200, 200, 200, 201, 404, 500, 503, 0, -1}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(150)
+		sessions := 1 + rng.Intn(8)
+		trace := make([]Op, n)
+		samples := make([]sample, n)
+		wantErrors, want5xx, wantHTTP := 0, 0, 0
+		for i := range trace {
+			trace[i] = Op{Session: rng.Intn(sessions), Kind: OpStep}
+			st := statuses[rng.Intn(len(statuses))]
+			samples[i] = sample{ms: rng.Float64() * 10, status: st}
+			if st < 200 || st >= 300 {
+				wantErrors++
+			}
+			if st >= 500 {
+				want5xx++
+			}
+			if st > 0 {
+				wantHTTP++
+			}
+		}
+		res := summarize(mkConfig(n, sessions), trace, samples, time.Second)
+		if res.Errors != wantErrors || res.Error5xx != want5xx {
+			t.Fatalf("errors=%d/%d want %d/%d", res.Errors, res.Error5xx, wantErrors, want5xx)
+		}
+		if got := res.ErrorRate; got != float64(wantErrors)/float64(n) {
+			t.Fatalf("error rate %v, want %v", got, float64(wantErrors)/float64(n))
+		}
+		if res.ThroughputRPS != float64(n) {
+			t.Fatalf("throughput %v over 1s, want %v", res.ThroughputRPS, float64(n))
+		}
+		total := 0
+		for _, c := range res.Statuses {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("status counts sum to %d, want %d", total, n)
+		}
+		if res.HotShare <= 0 || res.HotShare > 1 || res.HotShare < 1/float64(sessions)-1e-9 {
+			t.Fatalf("hot share %v with %d sessions", res.HotShare, sessions)
+		}
+		if wantHTTP == 0 && (res.P50Ms != 0 || res.P99Ms != 0 || res.MaxMs != 0) {
+			t.Fatalf("no HTTP samples but quantiles %v/%v/%v", res.P50Ms, res.P99Ms, res.MaxMs)
+		}
+	}
+}
+
+// TestSummarizeZeroRequests pins the zero-request edge: every field must
+// be finite (no 0/0), rates and quantiles zero.
+func TestSummarizeZeroRequests(t *testing.T) {
+	res := summarize(mkConfig(0, 4), nil, nil, 0)
+	for name, v := range map[string]float64{
+		"error_rate": res.ErrorRate, "throughput": res.ThroughputRPS,
+		"p50": res.P50Ms, "p90": res.P90Ms, "p99": res.P99Ms,
+		"max": res.MaxMs, "hot_share": res.HotShare, "duration": res.DurationSec,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is not finite: %v", name, v)
+		}
+		if v != 0 {
+			t.Fatalf("%s = %v on a zero-request run, want 0", name, v)
+		}
+	}
+}
+
+// TestSummarizeAllErrors pins the all-error edge: error rate exactly 1,
+// 5xx and transport failures partitioned correctly, latency quantiles
+// still reported for requests that got an HTTP response at all.
+func TestSummarizeAllErrors(t *testing.T) {
+	trace := []Op{{0, OpStep}, {1, OpStep}, {0, OpInfo}, {1, OpStep}}
+	samples := []sample{
+		{ms: 4, status: 500},
+		{ms: 2, status: 503},
+		{ms: 0, status: 0},  // transport error
+		{ms: 0, status: -1}, // request build error
+	}
+	res := summarize(mkConfig(4, 2), trace, samples, 2*time.Second)
+	if res.Errors != 4 || res.ErrorRate != 1 {
+		t.Fatalf("errors=%d rate=%v", res.Errors, res.ErrorRate)
+	}
+	if res.Error5xx != 2 {
+		t.Fatalf("5xx=%d, want 2", res.Error5xx)
+	}
+	if res.Statuses["transport_error"] != 2 || res.Statuses["500"] != 1 || res.Statuses["503"] != 1 {
+		t.Fatalf("statuses %v", res.Statuses)
+	}
+	// Quantiles come from the two real responses only.
+	if res.P50Ms != 2 || res.P99Ms != 4 || res.MaxMs != 4 {
+		t.Fatalf("quantiles p50=%v p99=%v max=%v", res.P50Ms, res.P99Ms, res.MaxMs)
+	}
+	if res.ThroughputRPS != 2 {
+		t.Fatalf("throughput %v, want 2 rps", res.ThroughputRPS)
+	}
+}
+
+// TestHandlerTransportRoundTrip drives a handler through the in-process
+// transport via a real http.Client: status, headers, and body must all
+// survive the round trip, including non-200 and header-only responses.
+func TestHandlerTransportRoundTrip(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/echo", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("X-Echo-Method", r.Method)
+		w.WriteHeader(http.StatusTeapot)
+		fmt.Fprintf(w, "%s|%s", r.URL.Path, body)
+	})
+	mux.HandleFunc("/empty", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	client := &http.Client{Transport: NewHandlerTransport(mux)}
+
+	resp, err := client.Post("http://in-process/echo", "text/plain",
+		strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Fatalf("status %d, want 418", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Echo-Method") != "POST" {
+		t.Fatalf("header %q", resp.Header.Get("X-Echo-Method"))
+	}
+	if string(body) != "/echo|payload" {
+		t.Fatalf("body %q", body)
+	}
+
+	resp, err = client.Get("http://in-process/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent || resp.ContentLength != 0 {
+		t.Fatalf("status %d len %d, want 204 with empty body", resp.StatusCode, resp.ContentLength)
+	}
+
+	// A handler that never calls WriteHeader implies 200.
+	resp, err = client.Get("http://in-process/missing-but-muxed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("mux default status %d, want 404", resp.StatusCode)
+	}
+}

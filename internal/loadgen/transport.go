@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+)
+
+// NewHandlerTransport returns an http.RoundTripper that serves every
+// request by calling h directly — no sockets, no ports, no network stack.
+// Set it as Config.Transport to replay a trace against an in-process
+// httpapi.Server (or router) handler: the workload-checks runner drives
+// serving workloads this way so a perf gate never depends on free ports or
+// loopback throughput.
+//
+// The transport is synchronous and safe for concurrent use when h is (the
+// httpapi handlers are). Request contexts pass through untouched.
+func NewHandlerTransport(h http.Handler) http.RoundTripper {
+	return handlerTransport{h: h}
+}
+
+type handlerTransport struct {
+	h http.Handler
+}
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), status: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        http.StatusText(rec.status),
+		StatusCode:    rec.status,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is the minimal http.ResponseWriter the handler
+// transport needs (net/http/httptest's recorder would do, but pulling a
+// testing helper into non-test code reads wrong).
+type responseRecorder struct {
+	header      http.Header
+	body        bytes.Buffer
+	status      int
+	wroteHeader bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(status int) {
+	if r.wroteHeader {
+		return
+	}
+	r.status = status
+	r.wroteHeader = true
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	return r.body.Write(p)
+}

@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// countRunner is the smallest real TileRunner: work that cannot be
+// optimized away but costs nothing, so the measurement is the dispatch
+// path itself.
+type countRunner struct{ n atomic.Int64 }
+
+func (r *countRunner) RunTile(int) { r.n.Add(1) }
+
+// TestKernelDispatchAllocBound pins the amortized allocation cost of the
+// fork-join dispatch at GOMAXPROCS=2 — the configuration behind the "-2"
+// BENCH rows. The dispatch performs no user-level allocations, but the
+// runtime occasionally allocates scheduler bookkeeping (sudog etc.) inside
+// the channel wake/park path; measured residual is ~1 B/op and ~0.01
+// mallocs/op amortized over many launches. The bound (64 B/op, 0.5
+// mallocs/op) is far above that noise and far below any real per-dispatch
+// allocation, so it catches a regression that reintroduces a closure,
+// descriptor, or channel per launch.
+func TestKernelDispatchAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is amortized over many dispatches")
+	}
+	prevProcs := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prevProcs)
+	SetMaxWorkers(2)
+	defer SetMaxWorkers(0)
+
+	r := &countRunner{}
+	const tiles = 4
+	// Warm: spawn the helper workers and fault in every pool structure
+	// before measuring.
+	for i := 0; i < 200; i++ {
+		Kernel(tiles, r)
+	}
+	r.n.Store(0)
+
+	const launches = 2000
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < launches; i++ {
+		Kernel(tiles, r)
+	}
+	runtime.ReadMemStats(&after)
+
+	if got := r.n.Load(); got != launches*tiles {
+		t.Fatalf("ran %d tiles, want %d", got, launches*tiles)
+	}
+	bytesPerOp := float64(after.TotalAlloc-before.TotalAlloc) / launches
+	mallocsPerOp := float64(after.Mallocs-before.Mallocs) / launches
+	t.Logf("dispatch residual: %.2f B/op, %.4f mallocs/op over %d launches",
+		bytesPerOp, mallocsPerOp, launches)
+	if bytesPerOp > 64 {
+		t.Fatalf("dispatch allocates %.2f B/op amortized (bound 64): a per-launch allocation crept into the kernel path", bytesPerOp)
+	}
+	if mallocsPerOp > 0.5 {
+		t.Fatalf("dispatch allocates %.4f mallocs/op amortized (bound 0.5)", mallocsPerOp)
+	}
+}

@@ -88,8 +88,18 @@ func (p *kernelPool) ensure(n int) {
 // tiles are done. Results are bit-identical to calling the tiles
 // sequentially in ascending order, for any worker count. The fast paths —
 // one tile, one worker, or a pool already busy with another launch — run
-// the tiles inline on the caller's goroutine. Steady-state dispatch
-// performs no allocations.
+// the tiles inline on the caller's goroutine.
+//
+// Steady-state dispatch performs no user-level allocations. The runtime
+// itself very occasionally allocates inside the channel wake/park path
+// (sudog and related scheduler bookkeeping when a parked worker's cached
+// structures miss), which amortizes to ~1 B/op at GOMAXPROCS >= 2 and
+// exactly 0 at GOMAXPROCS = 1. Benchmarks with a small b.N round this up
+// to visible single-digit B_per_op on "-2" BENCH rows (e.g. 6-20 B/op);
+// that is measurement granularity, not a dispatch-path allocation.
+// TestKernelDispatchAllocBound bounds the amortized cost so a real
+// per-dispatch allocation (>= 16 B/op every call) cannot creep in
+// unnoticed.
 func Kernel(tiles int, r TileRunner) {
 	if tiles <= 0 {
 		return

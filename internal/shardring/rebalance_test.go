@@ -1,0 +1,100 @@
+package shardring
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAddMemberRebalance quantifies the consistent-hashing contract on
+// scale-up: adding one member to an N-member ring may move keys only TO
+// the new member, and the moved fraction must be near the ideal
+// 1/(N+1) — bounded here by 2/(N+1) plus slack for vnode placement
+// variance. Every unmoved key must keep a byte-identical owner.
+func TestAddMemberRebalance(t *testing.T) {
+	const nKeys = 20000
+	for _, n := range []int{2, 4, 8, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			members := make([]string, n)
+			for i := range members {
+				members[i] = fmt.Sprintf("shard-%d", i)
+			}
+			before, err := New(members, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := New(append(append([]string{}, members...), "shard-new"), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := 0
+			for _, k := range keys(nKeys) {
+				was, is := before.Owner(k), after.Owner(k)
+				if was == is {
+					continue
+				}
+				if is != "shard-new" {
+					t.Fatalf("key %q moved %s -> %s, but only the new member may gain keys", k, was, is)
+				}
+				moved++
+			}
+			frac := float64(moved) / nKeys
+			ideal := 1 / float64(n+1)
+			// 2x the ideal share plus 2% absolute slack: loose enough for
+			// 64-vnode placement variance, tight enough to catch a ring
+			// that reshuffles globally (frac would approach 1-1/(n+1)).
+			if limit := 2*ideal + 0.02; frac > limit {
+				t.Fatalf("adding 1 of %d members moved %.1f%% of keys (ideal %.1f%%, limit %.1f%%)",
+					n, frac*100, ideal*100, limit*100)
+			}
+			if moved == 0 {
+				t.Fatal("new member owns nothing")
+			}
+		})
+	}
+}
+
+// TestRemoveMemberRebalance is the scale-down mirror: removing one member
+// may move keys only FROM that member, within the same quantitative bound.
+func TestRemoveMemberRebalance(t *testing.T) {
+	const nKeys = 20000
+	for _, n := range []int{3, 8, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			members := make([]string, n)
+			for i := range members {
+				members[i] = fmt.Sprintf("shard-%d", i)
+			}
+			before, err := New(members, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, err := New(members[:n-1], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			removed := members[n-1]
+			moved := 0
+			for _, k := range keys(nKeys) {
+				was, is := before.Owner(k), after.Owner(k)
+				if was == removed {
+					if is == removed {
+						t.Fatalf("key %q still owned by removed member %s", k, removed)
+					}
+					moved++
+					continue
+				}
+				if was != is {
+					t.Fatalf("key %q moved %s -> %s though its owner survived", k, was, is)
+				}
+			}
+			frac := float64(moved) / nKeys
+			ideal := 1 / float64(n)
+			if limit := 2*ideal + 0.02; frac > limit {
+				t.Fatalf("removing 1 of %d members moved %.1f%% of keys (ideal %.1f%%, limit %.1f%%)",
+					n, frac*100, ideal*100, limit*100)
+			}
+			if moved == 0 {
+				t.Fatal("removed member owned nothing")
+			}
+		})
+	}
+}

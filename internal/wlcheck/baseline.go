@@ -1,0 +1,164 @@
+package wlcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is the best value a regression check's metric has ever recorded
+// in the BENCH_*.json / LOADGEN_*.json trajectory, and where it came from.
+type Baseline struct {
+	// Value is the best recorded value (min for lower-is-better metrics,
+	// max for higher-is-better ones).
+	Value float64 `json:"value"`
+	// File is the trajectory file the best value came from.
+	File string `json:"file"`
+}
+
+// History holds the parsed perf trajectory of a baseline directory:
+// every row of every BENCH_*.json keyed by row name, and every numeric
+// field of every LOADGEN_*.json.
+type History struct {
+	// bench maps row name -> metric -> recorded values with their files.
+	bench map[string]map[string][]record
+	// loadgen maps metric -> recorded values with their files.
+	loadgen map[string][]record
+	// Files lists the trajectory files read, sorted (for reports).
+	Files []string `json:"files"`
+}
+
+type record struct {
+	value float64
+	file  string
+}
+
+// LoadHistory scans dir for BENCH_*.json (arrays of benchmark rows, the
+// scripts/bench.sh format) and LOADGEN_*.json (single loadgen.Result
+// objects). Files that fail to parse are an error — a corrupt trajectory
+// record silently shrinking the baseline would defeat the gate.
+func LoadHistory(dir string) (*History, error) {
+	h := &History{
+		bench:   map[string]map[string][]record{},
+		loadgen: map[string][]record{},
+	}
+	for _, pattern := range []string{"BENCH_*.json", "LOADGEN_*.json"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		for _, path := range matches {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("wlcheck: history: %w", err)
+			}
+			name := filepath.Base(path)
+			if pattern == "BENCH_*.json" {
+				err = h.addBench(name, raw)
+			} else {
+				err = h.addLoadgen(name, raw)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("wlcheck: history %s: %w", name, err)
+			}
+			h.Files = append(h.Files, name)
+		}
+	}
+	return h, nil
+}
+
+func (h *History) addBench(file string, raw []byte) error {
+	var rows []map[string]any
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		name, _ := row["name"].(string)
+		if name == "" {
+			return fmt.Errorf("row without a name")
+		}
+		for k, v := range row {
+			f, ok := v.(float64)
+			if !ok || k == "name" {
+				continue
+			}
+			if h.bench[name] == nil {
+				h.bench[name] = map[string][]record{}
+			}
+			h.bench[name][k] = append(h.bench[name][k], record{f, file})
+		}
+	}
+	return nil
+}
+
+func (h *History) addLoadgen(file string, raw []byte) error {
+	var obj map[string]any
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return err
+	}
+	for k, v := range obj {
+		if f, ok := v.(float64); ok {
+			h.loadgen[k] = append(h.loadgen[k], record{f, file})
+		}
+	}
+	return nil
+}
+
+// Best resolves a regression check's baseline: the best recorded value of
+// its metric across the trajectory. ok is false when the trajectory has no
+// record for it — a new case or bench name has no history yet, which is
+// not a violation (the first recorded run becomes the baseline).
+func (h *History) Best(r Regression) (Baseline, bool) {
+	var recs []record
+	switch r.Source {
+	case "bench":
+		recs = h.bench[r.Name][r.Metric]
+	case "loadgen":
+		recs = h.loadgen[r.Metric]
+	}
+	if len(recs) == 0 {
+		return Baseline{}, false
+	}
+	biggerBetter, _ := metricDirection(r.Metric)
+	best := recs[0]
+	for _, rec := range recs[1:] {
+		if (biggerBetter && rec.value > best.value) || (!biggerBetter && rec.value < best.value) {
+			best = rec
+		}
+	}
+	return Baseline{Value: best.value, File: best.file}, true
+}
+
+// CheckRegression compares a measured value against the trajectory best
+// under the declared noise tolerance. It returns the resolved baseline
+// (nil when no history exists), whether the check passed, and a
+// human-readable detail line.
+func (h *History) CheckRegression(r Regression, measured float64) (*Baseline, bool, string) {
+	best, ok := h.Best(r)
+	if !ok {
+		return nil, true, fmt.Sprintf("no %s history for %s; this run records the first baseline", r.Source, regressionKey(r))
+	}
+	biggerBetter, _ := metricDirection(r.Metric)
+	var limit float64
+	var pass bool
+	if biggerBetter {
+		limit = best.Value * (1 - r.TolerancePct/100)
+		pass = measured >= limit
+	} else {
+		limit = best.Value * (1 + r.TolerancePct/100)
+		pass = measured <= limit
+	}
+	detail := fmt.Sprintf("%s measured %.6g vs best %.6g (%s), tolerance %g%% => limit %.6g",
+		r.Metric, measured, best.Value, best.File, r.TolerancePct, limit)
+	return &best, pass, detail
+}
+
+func regressionKey(r Regression) string {
+	if r.Source == "bench" {
+		return r.Name + "/" + r.Metric
+	}
+	return "loadgen/" + r.Metric
+}

@@ -1,0 +1,119 @@
+package wlcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryBestAcrossFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "BENCH_20260101.json",
+		`[{"name": "BenchmarkDDPGUpdate", "iterations": 100, "ns_per_op": 5000000, "B_per_op": 0, "allocs_per_op": 0}]`)
+	writeFile(t, dir, "BENCH_20260201.json",
+		`[{"name": "BenchmarkDDPGUpdate", "iterations": 100, "ns_per_op": 3000000, "B_per_op": 0, "allocs_per_op": 0},
+		  {"name": "BenchmarkDDPGUpdate-2", "iterations": 100, "ns_per_op": 2900000, "B_per_op": 6, "allocs_per_op": 0}]`)
+	writeFile(t, dir, "LOADGEN_20260201.json",
+		`{"target": "http://x", "throughput_rps": 900.5, "p99_ms": 12.5}`)
+	writeFile(t, dir, "LOADGEN_20260301.json",
+		`{"target": "http://x", "throughput_rps": 1200.0, "p99_ms": 18.0}`)
+
+	h, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Files) != 4 {
+		t.Fatalf("read %v", h.Files)
+	}
+
+	// Bench rows: exact-name match (the -2 parallel row is a different
+	// name), best is the minimum ns_per_op across files.
+	best, ok := h.Best(Regression{Source: "bench", Name: "BenchmarkDDPGUpdate", Metric: "ns_per_op"})
+	if !ok || best.Value != 3000000 || best.File != "BENCH_20260201.json" {
+		t.Fatalf("best = %+v ok=%v", best, ok)
+	}
+
+	// Loadgen throughput: bigger is better, best is the max.
+	best, ok = h.Best(Regression{Source: "loadgen", Metric: "throughput_rps"})
+	if !ok || best.Value != 1200.0 || best.File != "LOADGEN_20260301.json" {
+		t.Fatalf("best = %+v ok=%v", best, ok)
+	}
+
+	// Loadgen p99: smaller is better, best is the min.
+	best, ok = h.Best(Regression{Source: "loadgen", Metric: "p99_ms"})
+	if !ok || best.Value != 12.5 || best.File != "LOADGEN_20260201.json" {
+		t.Fatalf("best = %+v ok=%v", best, ok)
+	}
+}
+
+func TestCheckRegressionVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "BENCH_20260101.json",
+		`[{"name": "BenchmarkEnvModelFit", "iterations": 100, "ns_per_op": 1000000}]`)
+	writeFile(t, dir, "LOADGEN_20260101.json", `{"throughput_rps": 1000}`)
+	h, err := LoadHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	benchReg := Regression{Source: "bench", Name: "BenchmarkEnvModelFit", Metric: "ns_per_op", TolerancePct: 50}
+	// Within tolerance: 1.4ms vs best 1.0ms, limit 1.5ms.
+	if _, pass, _ := h.CheckRegression(benchReg, 1400000); !pass {
+		t.Fatal("1.4ms vs 1.0ms best at 50% tolerance should pass")
+	}
+	// Beyond tolerance.
+	if _, pass, detail := h.CheckRegression(benchReg, 1600000); pass {
+		t.Fatalf("1.6ms vs 1.0ms best at 50%% tolerance should fail (%s)", detail)
+	}
+
+	// Higher-is-better direction: throughput may sag at most tolerance%.
+	lgReg := Regression{Source: "loadgen", Metric: "throughput_rps", TolerancePct: 30}
+	if _, pass, _ := h.CheckRegression(lgReg, 800); !pass {
+		t.Fatal("800 rps vs 1000 best at 30% tolerance should pass")
+	}
+	if _, pass, _ := h.CheckRegression(lgReg, 600); pass {
+		t.Fatal("600 rps vs 1000 best at 30% tolerance should fail")
+	}
+
+	// No history: passes, with the first-baseline note.
+	baseline, pass, detail := h.CheckRegression(
+		Regression{Source: "bench", Name: "BenchmarkNew", Metric: "ns_per_op", TolerancePct: 10}, 5)
+	if !pass || baseline != nil || !strings.Contains(detail, "first baseline") {
+		t.Fatalf("no-history check: pass=%v baseline=%v detail=%q", pass, baseline, detail)
+	}
+}
+
+func TestLoadHistoryRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "BENCH_20260101.json", `{"not": "an array"}`)
+	if _, err := LoadHistory(dir); err == nil {
+		t.Fatal("LoadHistory accepted a corrupt BENCH file")
+	}
+
+	dir2 := t.TempDir()
+	writeFile(t, dir2, "BENCH_20260101.json", `[{"iterations": 3}]`)
+	if _, err := LoadHistory(dir2); err == nil {
+		t.Fatal("LoadHistory accepted a nameless bench row")
+	}
+}
+
+func TestLoadHistoryEmptyDir(t *testing.T) {
+	h, err := LoadHistory(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Files) != 0 {
+		t.Fatalf("files %v", h.Files)
+	}
+	if _, ok := h.Best(Regression{Source: "bench", Name: "X", Metric: "ns_per_op"}); ok {
+		t.Fatal("empty history returned a baseline")
+	}
+}

@@ -1,0 +1,319 @@
+package wlcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MachineClass is one machine.yaml: the resource envelope every case in
+// the class runs under, and the wall-clock budget for the whole class run.
+type MachineClass struct {
+	// Name is the class directory name (not declared in the file).
+	Name string `json:"name"`
+	// GOMAXPROCS is pinned for the duration of the run (>= 1).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GOMemLimitMB is pinned via debug.SetMemoryLimit (>= 16 MiB). The
+	// limit is soft — Go's GC works harder as the heap approaches it —
+	// so breaching it shows up as GC pause growth, not an OOM kill.
+	GOMemLimitMB int `json:"gomemlimit_mb"`
+	// WallBudgetSec bounds the whole class run's wall time; exceeding it
+	// is a violation like any missed case budget.
+	WallBudgetSec float64 `json:"wall_budget_sec"`
+}
+
+// Budget is one declared bound on a measured metric: "<metric>_max: v" or
+// "<metric>_min: v" in a case.yaml budgets mapping.
+type Budget struct {
+	// Metric is the measured metric name (e.g. "ns_per_op", "p99_ms").
+	Metric string `json:"metric"`
+	// Max is true for _max bounds (measured must be <= Value), false for
+	// _min bounds (measured must be >= Value).
+	Max bool `json:"-"`
+	// Value is the declared bound (finite, >= 0).
+	Value float64 `json:"-"`
+}
+
+// Bound renders the bound kind for reports ("max" or "min").
+func (b Budget) Bound() string {
+	if b.Max {
+		return "max"
+	}
+	return "min"
+}
+
+// Regression is a case.yaml regression mapping: compare the measured
+// metric against the best value in the recorded BENCH_*.json /
+// LOADGEN_*.json trajectory, failing on a worse-than-tolerance slide.
+type Regression struct {
+	// Source is "bench" (rows in BENCH_*.json, matched by Name) or
+	// "loadgen" (top-level fields of LOADGEN_*.json objects).
+	Source string `json:"source"`
+	// Name is the bench row name (e.g. "BenchmarkDDPGUpdate"); unused for
+	// loadgen sources.
+	Name string `json:"name,omitempty"`
+	// Metric is both the history field and the measured metric to
+	// compare (e.g. "ns_per_op", "throughput_rps").
+	Metric string `json:"metric"`
+	// TolerancePct is the allowed slide from the historical best, in
+	// percent. It is the noise floor: machine variance between the box
+	// that recorded the trajectory and the box running the check must fit
+	// inside it, so CI classes use generous values (hundreds of percent)
+	// that still catch order-of-magnitude regressions.
+	TolerancePct float64 `json:"tolerance_pct"`
+}
+
+// Case is one cases/<name>/case.yaml: a workload, its knobs, the declared
+// budgets, and an optional trajectory regression check.
+type Case struct {
+	// Name is the case directory name (not declared in the file).
+	Name string `json:"name"`
+	// Workload names the registered driver (see workloads.go).
+	Workload string `json:"workload"`
+	// Params are the driver's scalar knobs; every key must be one the
+	// driver declares.
+	Params map[string]float64 `json:"params,omitempty"`
+	// Budgets are the declared bounds, sorted by metric then bound kind.
+	Budgets []Budget `json:"-"`
+	// Regression, when non-nil, adds the trajectory check.
+	Regression *Regression `json:"regression,omitempty"`
+}
+
+// Class is one loaded machine-class directory: the machine envelope plus
+// its cases, sorted by name.
+type Class struct {
+	Machine MachineClass
+	Cases   []Case
+}
+
+// decodeMachine decodes and validates a machine.yaml.
+func decodeMachine(name string, data []byte) (MachineClass, error) {
+	root, err := parseYAML(data)
+	if err != nil {
+		return MachineClass{}, fmt.Errorf("machine.yaml: %w", err)
+	}
+	sm := newStrictMap("machine.yaml", root)
+	mc := MachineClass{Name: name}
+	if mc.GOMAXPROCS, err = sm.intField("gomaxprocs", 1, 4096); err != nil {
+		return MachineClass{}, err
+	}
+	if mc.GOMemLimitMB, err = sm.intField("gomemlimit_mb", 16, 1<<30); err != nil {
+		return MachineClass{}, err
+	}
+	if mc.WallBudgetSec, err = sm.floatField("wall_budget_sec", 0); err != nil {
+		return MachineClass{}, err
+	}
+	if mc.WallBudgetSec <= 0 {
+		return MachineClass{}, fmt.Errorf("machine.yaml: field %q: must be positive", "wall_budget_sec")
+	}
+	if err := sm.finish(); err != nil {
+		return MachineClass{}, err
+	}
+	return mc, nil
+}
+
+// decodeCase decodes and validates one case.yaml against the workload
+// registry: the workload must exist, every param must be declared by the
+// driver, every budget metric must be one the driver measures, and all
+// numbers must be finite and non-negative.
+func decodeCase(name string, data []byte) (Case, error) {
+	root, err := parseYAML(data)
+	if err != nil {
+		return Case{}, fmt.Errorf("case.yaml: %w", err)
+	}
+	sm := newStrictMap("case.yaml", root)
+	c := Case{Name: name}
+	if c.Workload, err = sm.str("workload"); err != nil {
+		return Case{}, err
+	}
+	wl, ok := lookupWorkload(c.Workload)
+	if !ok {
+		return Case{}, fmt.Errorf("case.yaml: unknown workload %q (have: %s)",
+			c.Workload, strings.Join(workloadNames(), ", "))
+	}
+
+	if params, ok, err := sm.mapping("params"); err != nil {
+		return Case{}, err
+	} else if ok {
+		c.Params = map[string]float64{}
+		for key := range params.m {
+			if !contains(wl.Params, key) {
+				return Case{}, fmt.Errorf("case.yaml: params: unknown param %q for workload %q (have: %s)",
+					key, c.Workload, strings.Join(wl.Params, ", "))
+			}
+			v, err := params.floatField(key, 0)
+			if err != nil {
+				return Case{}, err
+			}
+			c.Params[key] = v
+		}
+		if err := params.finish(); err != nil {
+			return Case{}, err
+		}
+	}
+
+	budgets, ok, err := sm.mapping("budgets")
+	if err != nil {
+		return Case{}, err
+	}
+	if !ok || len(budgets.m) == 0 {
+		return Case{}, fmt.Errorf("case.yaml: missing budgets: a case must declare at least one <metric>_max or <metric>_min bound")
+	}
+	for key := range budgets.m {
+		metric, isMax := strings.CutSuffix(key, "_max")
+		if !isMax {
+			var isMin bool
+			metric, isMin = strings.CutSuffix(key, "_min")
+			if !isMin {
+				return Case{}, fmt.Errorf("case.yaml: budgets: %q must end in _max or _min", key)
+			}
+		}
+		if !contains(wl.Metrics, metric) {
+			return Case{}, fmt.Errorf("case.yaml: budgets: workload %q does not measure %q (measures: %s)",
+				c.Workload, metric, strings.Join(wl.Metrics, ", "))
+		}
+		v, err := budgets.floatField(key, 0)
+		if err != nil {
+			return Case{}, err
+		}
+		c.Budgets = append(c.Budgets, Budget{Metric: metric, Max: isMax, Value: v})
+	}
+	if err := budgets.finish(); err != nil {
+		return Case{}, err
+	}
+	sort.Slice(c.Budgets, func(i, j int) bool {
+		if c.Budgets[i].Metric != c.Budgets[j].Metric {
+			return c.Budgets[i].Metric < c.Budgets[j].Metric
+		}
+		return c.Budgets[i].Max && !c.Budgets[j].Max
+	})
+
+	if reg, ok, err := sm.mapping("regression"); err != nil {
+		return Case{}, err
+	} else if ok {
+		r := &Regression{}
+		if r.Source, err = reg.str("source"); err != nil {
+			return Case{}, err
+		}
+		switch r.Source {
+		case "bench":
+			if r.Name, err = reg.str("name"); err != nil {
+				return Case{}, err
+			}
+		case "loadgen":
+			if reg.has("name") {
+				return Case{}, fmt.Errorf("case.yaml: regression: %q takes no name (LOADGEN files are single records)", r.Source)
+			}
+		default:
+			return Case{}, fmt.Errorf("case.yaml: regression: unknown source %q (want bench or loadgen)", r.Source)
+		}
+		if r.Metric, err = reg.str("metric"); err != nil {
+			return Case{}, err
+		}
+		if !contains(wl.Metrics, r.Metric) {
+			return Case{}, fmt.Errorf("case.yaml: regression: workload %q does not measure %q (measures: %s)",
+				c.Workload, r.Metric, strings.Join(wl.Metrics, ", "))
+		}
+		if _, ok := metricDirection(r.Metric); !ok {
+			return Case{}, fmt.Errorf("case.yaml: regression: metric %q has no defined better-direction", r.Metric)
+		}
+		if r.TolerancePct, err = reg.floatField("tolerance_pct", 0); err != nil {
+			return Case{}, err
+		}
+		if r.TolerancePct <= 0 {
+			return Case{}, fmt.Errorf("case.yaml: regression: tolerance_pct must be positive (it is the documented noise floor)")
+		}
+		if err := reg.finish(); err != nil {
+			return Case{}, err
+		}
+		c.Regression = r
+	}
+
+	if err := sm.finish(); err != nil {
+		return Case{}, err
+	}
+	return c, nil
+}
+
+// LoadClass reads checksDir/<class>/machine.yaml and every
+// checksDir/<class>/cases/<name>/case.yaml.
+func LoadClass(checksDir, class string) (*Class, error) {
+	classDir := filepath.Join(checksDir, class)
+	machineRaw, err := os.ReadFile(filepath.Join(classDir, "machine.yaml"))
+	if err != nil {
+		return nil, fmt.Errorf("wlcheck: class %q: %w", class, err)
+	}
+	mc, err := decodeMachine(class, machineRaw)
+	if err != nil {
+		return nil, fmt.Errorf("wlcheck: class %q: %w", class, err)
+	}
+	casesDir := filepath.Join(classDir, "cases")
+	entries, err := os.ReadDir(casesDir)
+	if err != nil {
+		return nil, fmt.Errorf("wlcheck: class %q: %w", class, err)
+	}
+	cl := &Class{Machine: mc}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(casesDir, ent.Name(), "case.yaml"))
+		if err != nil {
+			return nil, fmt.Errorf("wlcheck: class %q case %q: %w", class, ent.Name(), err)
+		}
+		c, err := decodeCase(ent.Name(), raw)
+		if err != nil {
+			return nil, fmt.Errorf("wlcheck: class %q case %q: %w", class, ent.Name(), err)
+		}
+		cl.Cases = append(cl.Cases, c)
+	}
+	if len(cl.Cases) == 0 {
+		return nil, fmt.Errorf("wlcheck: class %q has no cases", class)
+	}
+	sort.Slice(cl.Cases, func(i, j int) bool { return cl.Cases[i].Name < cl.Cases[j].Name })
+	return cl, nil
+}
+
+// ListClasses returns the class directory names under checksDir (those
+// containing a machine.yaml), sorted.
+func ListClasses(checksDir string) ([]string, error) {
+	entries, err := os.ReadDir(checksDir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(checksDir, ent.Name(), "machine.yaml")); err == nil {
+			out = append(out, ent.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// metricDirection reports whether bigger values of metric are better
+// (true) or worse (false) for regression comparison.
+func metricDirection(metric string) (biggerBetter bool, ok bool) {
+	switch {
+	case metric == "throughput_rps" || metric == "ops_per_sec":
+		return true, true
+	case metric == "ns_per_op" || strings.HasSuffix(metric, "_ms") ||
+		strings.HasSuffix(metric, "_sec") || metric == "error_rate":
+		return false, true
+	}
+	return false, false
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package wlcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validCase is a minimal case.yaml every mutation test edits from.
+const validCase = `workload: ddpg_update
+params:
+  ops: 5
+budgets:
+  ns_per_op_max: 60000000
+regression:
+  source: bench
+  name: BenchmarkDDPGUpdate
+  metric: ns_per_op
+  tolerance_pct: 300
+`
+
+func TestDecodeCaseValid(t *testing.T) {
+	c, err := decodeCase("ddpg", []byte(validCase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workload != "ddpg_update" || c.Params["ops"] != 5 {
+		t.Fatalf("decoded %+v", c)
+	}
+	if len(c.Budgets) != 1 || c.Budgets[0].Metric != "ns_per_op" || !c.Budgets[0].Max || c.Budgets[0].Value != 60000000 {
+		t.Fatalf("budgets %+v", c.Budgets)
+	}
+	if c.Regression == nil || c.Regression.Name != "BenchmarkDDPGUpdate" || c.Regression.TolerancePct != 300 {
+		t.Fatalf("regression %+v", c.Regression)
+	}
+}
+
+// TestDecodeCaseRejects is the table-driven validation sweep: unknown
+// fields, missing budgets, and non-finite or negative numbers must all be
+// rejected at load time (mirroring the finite-float hardening of
+// faults.Spec.Validate — a NaN budget would pass every comparison and
+// gate nothing).
+func TestDecodeCaseRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		yaml    string
+		wantErr string
+	}{
+		{"unknown top-level field",
+			validCase + "machine: big\n", "unknown field"},
+		{"unknown budget metric",
+			"workload: ddpg_update\nbudgets:\n  fps_max: 10\n", "does not measure"},
+		{"budget without bound suffix",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op: 10\n", "_max or _min"},
+		{"unknown param",
+			"workload: ddpg_update\nparams:\n  warps: 2\nbudgets:\n  ns_per_op_max: 10\n", "unknown param"},
+		{"missing workload",
+			"budgets:\n  ns_per_op_max: 10\n", "workload"},
+		{"unknown workload",
+			"workload: teleport\nbudgets:\n  ns_per_op_max: 10\n", "unknown workload"},
+		{"missing budgets",
+			"workload: ddpg_update\n", "missing budgets"},
+		{"empty budgets",
+			"workload: ddpg_update\nbudgets:\n", "missing budgets"},
+		{"NaN budget",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: NaN\n", "finite"},
+		{"Inf budget",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: +Inf\n", "finite"},
+		{"negative budget",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: -5\n", "below minimum"},
+		{"non-numeric budget",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: fast\n", "not a number"},
+		{"regression unknown source",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: 10\nregression:\n  source: vibes\n  metric: ns_per_op\n  tolerance_pct: 10\n", "unknown source"},
+		{"regression bench without name",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: 10\nregression:\n  source: bench\n  metric: ns_per_op\n  tolerance_pct: 10\n", "name"},
+		{"regression loadgen with name",
+			"workload: serve_sessions\nbudgets:\n  p99_ms_max: 10\nregression:\n  source: loadgen\n  name: x\n  metric: p99_ms\n  tolerance_pct: 10\n", "takes no name"},
+		{"regression zero tolerance",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: 10\nregression:\n  source: bench\n  name: B\n  metric: ns_per_op\n  tolerance_pct: 0\n", "tolerance_pct must be positive"},
+		{"regression NaN tolerance",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: 10\nregression:\n  source: bench\n  name: B\n  metric: ns_per_op\n  tolerance_pct: NaN\n", "finite"},
+		{"regression unmeasured metric",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: 10\nregression:\n  source: bench\n  name: B\n  metric: p99_ms\n  tolerance_pct: 10\n", "does not measure"},
+		{"unknown regression field",
+			"workload: ddpg_update\nbudgets:\n  ns_per_op_max: 10\nregression:\n  source: bench\n  name: B\n  metric: ns_per_op\n  tolerance_pct: 10\n  window: 5\n", "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeCase("x", []byte(tc.yaml))
+			if err == nil {
+				t.Fatalf("decodeCase accepted:\n%s", tc.yaml)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeMachineRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		yaml    string
+		wantErr string
+	}{
+		{"valid passes", "gomaxprocs: 2\ngomemlimit_mb: 512\nwall_budget_sec: 300\n", ""},
+		{"unknown field", "gomaxprocs: 2\ngomemlimit_mb: 512\nwall_budget_sec: 300\ncpus: 8\n", "unknown field"},
+		{"missing gomaxprocs", "gomemlimit_mb: 512\nwall_budget_sec: 300\n", "gomaxprocs"},
+		{"zero gomaxprocs", "gomaxprocs: 0\ngomemlimit_mb: 512\nwall_budget_sec: 300\n", "out of range"},
+		{"tiny memlimit", "gomaxprocs: 2\ngomemlimit_mb: 1\nwall_budget_sec: 300\n", "out of range"},
+		{"float gomaxprocs", "gomaxprocs: 2.5\ngomemlimit_mb: 512\nwall_budget_sec: 300\n", "not an integer"},
+		{"negative wall budget", "gomaxprocs: 2\ngomemlimit_mb: 512\nwall_budget_sec: -1\n", "below minimum"},
+		{"zero wall budget", "gomaxprocs: 2\ngomemlimit_mb: 512\nwall_budget_sec: 0\n", "positive"},
+		{"NaN wall budget", "gomaxprocs: 2\ngomemlimit_mb: 512\nwall_budget_sec: NaN\n", "finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := decodeMachine("m", []byte(tc.yaml))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("decodeMachine accepted:\n%s", tc.yaml)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoadClassTree(t *testing.T) {
+	dir := t.TempDir()
+	write := func(path, content string) {
+		t.Helper()
+		full := filepath.Join(dir, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("small/machine.yaml", "gomaxprocs: 1\ngomemlimit_mb: 256\nwall_budget_sec: 60\n")
+	write("small/cases/b-second/case.yaml", "workload: envmodel_fit\nbudgets:\n  ns_per_op_max: 1e9\n")
+	write("small/cases/a-first/case.yaml", validCase)
+
+	cl, err := LoadClass(dir, "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Machine.GOMAXPROCS != 1 || cl.Machine.Name != "small" {
+		t.Fatalf("machine %+v", cl.Machine)
+	}
+	if len(cl.Cases) != 2 || cl.Cases[0].Name != "a-first" || cl.Cases[1].Name != "b-second" {
+		t.Fatalf("cases %+v", cl.Cases)
+	}
+
+	if _, err := LoadClass(dir, "missing"); err == nil {
+		t.Fatal("LoadClass accepted a missing class")
+	}
+
+	classes, err := ListClasses(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 1 || classes[0] != "small" {
+		t.Fatalf("classes %v", classes)
+	}
+}

@@ -1,0 +1,307 @@
+package wlcheck
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"miras/internal/obs"
+)
+
+// Options configure one workload-check run.
+type Options struct {
+	// ChecksDir is the workload-checks tree root (default "workload-checks").
+	ChecksDir string
+	// Class names the machine class to run (a subdirectory of ChecksDir).
+	Class string
+	// BaselineDir is scanned for BENCH_*.json / LOADGEN_*.json trajectory
+	// files (default "."). Empty history is fine — regression checks then
+	// pass with a "first baseline" note.
+	BaselineDir string
+	// CaseFilter, when non-nil, restricts the run to matching case names.
+	CaseFilter *regexp.Regexp
+	// NoPin skips pinning GOMAXPROCS/GOMEMLIMIT — for tests that must not
+	// perturb the process, never for real gating runs.
+	NoPin bool
+	// Log, when non-nil, receives one progress line per case.
+	Log io.Writer
+}
+
+// CheckResult is one evaluated budget or regression check inside a case.
+type CheckResult struct {
+	// Kind is "budget", "regression", or "wall" (the class wall-clock
+	// bound, attached to the report's class-level checks).
+	Kind string `json:"kind"`
+	// Metric names the measured quantity.
+	Metric string `json:"metric"`
+	// Bound is "max" or "min".
+	Bound string `json:"bound"`
+	// Budget is the declared limit: the case.yaml bound for budget
+	// checks, the tolerance-adjusted trajectory limit for regressions.
+	Budget float64 `json:"budget"`
+	// Measured is the observed value.
+	Measured float64 `json:"measured"`
+	// Baseline is the trajectory best behind a regression check's limit
+	// (nil for budget checks and for regressions with no history).
+	Baseline *Baseline `json:"baseline,omitempty"`
+	// TolerancePct echoes the regression's declared noise tolerance.
+	TolerancePct float64 `json:"tolerance_pct,omitempty"`
+	// Pass is the verdict; Detail says why in one line.
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ResourceSample is the runtime-resource delta over one case, read through
+// the obs registry's process gauges.
+type ResourceSample struct {
+	// HeapAllocBytes is the live heap after the case.
+	HeapAllocBytes float64 `json:"heap_alloc_bytes"`
+	// GCPauseDeltaSec is stop-the-world pause time accumulated during the
+	// case; GCCyclesDelta the collections that caused it.
+	GCPauseDeltaSec float64 `json:"gc_pause_delta_sec"`
+	GCCyclesDelta   float64 `json:"gc_cycles_delta"`
+	// Goroutines is the live goroutine count after the case — a leaking
+	// workload shows up as growth across cases.
+	Goroutines float64 `json:"goroutines"`
+}
+
+// CaseResult is one executed case.
+type CaseResult struct {
+	Name      string             `json:"name"`
+	Workload  string             `json:"workload"`
+	WallSec   float64            `json:"wall_sec"`
+	Metrics   map[string]float64 `json:"metrics"`
+	Checks    []CheckResult      `json:"checks"`
+	Resources ResourceSample     `json:"resources"`
+	// Error is set when the workload itself failed to execute; the case
+	// then counts as a violation regardless of budgets.
+	Error string `json:"error,omitempty"`
+	Pass  bool   `json:"pass"`
+}
+
+// Report is the machine-readable outcome of a class run. Everything in it
+// is deterministic apart from the measured numbers: cases sort by name,
+// checks by declaration order (budgets sorted at load), and no timestamps
+// or hostnames appear.
+type Report struct {
+	SchemaVersion int          `json:"schema_version"`
+	Class         MachineClass `json:"class"`
+	// Pinned reports whether the class limits were actually applied.
+	Pinned bool `json:"pinned"`
+	// HistoryFiles lists the trajectory files the regression checks saw.
+	HistoryFiles []string     `json:"history_files"`
+	Cases        []CaseResult `json:"cases"`
+	// Wall is the class-level wall-clock check.
+	Wall CheckResult `json:"wall"`
+	// Violations names every failed check as "<case>/<kind>/<metric>"
+	// (or "class/wall"), sorted — the list CI prints and tests assert on.
+	Violations []string `json:"violations"`
+	Pass       bool     `json:"pass"`
+}
+
+// Run executes a class's cases under its pinned limits and evaluates every
+// declared budget and regression check. A non-nil error means the run
+// itself could not happen (bad tree, bad class name); check failures are
+// reported in Report.Pass / Report.Violations, not as errors.
+func Run(o Options) (*Report, error) {
+	if o.ChecksDir == "" {
+		o.ChecksDir = "workload-checks"
+	}
+	if o.BaselineDir == "" {
+		o.BaselineDir = "."
+	}
+	if o.Class == "" {
+		return nil, fmt.Errorf("wlcheck: no class selected")
+	}
+	cl, err := LoadClass(o.ChecksDir, o.Class)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := LoadHistory(o.BaselineDir)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		SchemaVersion: 1,
+		Class:         cl.Machine,
+		Pinned:        !o.NoPin,
+		HistoryFiles:  append([]string{}, hist.Files...),
+		Violations:    []string{},
+	}
+
+	// Pin the machine class's envelope for the duration of the run.
+	// GOMEMLIMIT is Go's soft heap limit: a case that overshoots it pays
+	// in GC pause time, which the resource samples surface.
+	if !o.NoPin {
+		prevProcs := runtime.GOMAXPROCS(cl.Machine.GOMAXPROCS)
+		prevLimit := debug.SetMemoryLimit(int64(cl.Machine.GOMemLimitMB) << 20)
+		defer func() {
+			runtime.GOMAXPROCS(prevProcs)
+			debug.SetMemoryLimit(prevLimit)
+		}()
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
+
+	start := time.Now()
+	for _, c := range cl.Cases {
+		if o.CaseFilter != nil && !o.CaseFilter.MatchString(c.Name) {
+			continue
+		}
+		cr := runCase(c, hist, reg, o.Log)
+		if !cr.Pass {
+			for _, ck := range cr.Checks {
+				if !ck.Pass {
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("%s/%s/%s", c.Name, ck.Kind, ck.Metric))
+				}
+			}
+			if cr.Error != "" {
+				rep.Violations = append(rep.Violations, c.Name+"/error")
+			}
+		}
+		rep.Cases = append(rep.Cases, cr)
+	}
+	wall := time.Since(start).Seconds()
+	rep.Wall = CheckResult{
+		Kind:     "wall",
+		Metric:   "wall_sec",
+		Bound:    "max",
+		Budget:   cl.Machine.WallBudgetSec,
+		Measured: wall,
+		Pass:     wall <= cl.Machine.WallBudgetSec,
+	}
+	if !rep.Wall.Pass {
+		rep.Wall.Detail = fmt.Sprintf("class run took %.2fs, wall budget %.2fs", wall, cl.Machine.WallBudgetSec)
+		rep.Violations = append(rep.Violations, "class/wall/wall_sec")
+	}
+	sortStrings(rep.Violations)
+	rep.Pass = len(rep.Violations) == 0
+	return rep, nil
+}
+
+// runCase executes one case and evaluates its checks. Workload errors are
+// captured in the result, not propagated — one broken case must not hide
+// the others' measurements.
+func runCase(c Case, hist *History, reg *obs.Registry, log io.Writer) CaseResult {
+	cr := CaseResult{Name: c.Name, Workload: c.Workload, Pass: true}
+	wl, ok := lookupWorkload(c.Workload)
+	if !ok { // LoadClass validated this; belt and braces for direct callers.
+		cr.Error = fmt.Sprintf("unknown workload %q", c.Workload)
+		cr.Pass = false
+		return cr
+	}
+	before := sampleProcess(reg)
+	start := time.Now()
+	metrics, err := wl.Run(Params(c.Params))
+	cr.WallSec = time.Since(start).Seconds()
+	after := sampleProcess(reg)
+	cr.Resources = ResourceSample{
+		HeapAllocBytes:  after["process_heap_alloc_bytes"],
+		GCPauseDeltaSec: after["process_gc_pause_seconds_total"] - before["process_gc_pause_seconds_total"],
+		GCCyclesDelta:   after["process_gc_cycles_total"] - before["process_gc_cycles_total"],
+		Goroutines:      after["process_goroutines"],
+	}
+	if err != nil {
+		cr.Error = err.Error()
+		cr.Pass = false
+		logf(log, "case %-20s ERROR %v", c.Name, err)
+		return cr
+	}
+	cr.Metrics = metrics
+
+	for _, b := range c.Budgets {
+		measured := metrics[b.Metric]
+		ck := CheckResult{
+			Kind: "budget", Metric: b.Metric, Bound: b.Bound(),
+			Budget: b.Value, Measured: measured,
+		}
+		if b.Max {
+			ck.Pass = measured <= b.Value
+		} else {
+			ck.Pass = measured >= b.Value
+		}
+		if !ck.Pass {
+			ck.Detail = fmt.Sprintf("%s %.6g violates declared %s %.6g", b.Metric, measured, b.Bound(), b.Value)
+			cr.Pass = false
+		}
+		cr.Checks = append(cr.Checks, ck)
+	}
+
+	if r := c.Regression; r != nil {
+		measured := metrics[r.Metric]
+		baseline, pass, detail := hist.CheckRegression(*r, measured)
+		biggerBetter, _ := metricDirection(r.Metric)
+		bound, limit := "max", 0.0
+		if baseline != nil {
+			if biggerBetter {
+				bound = "min"
+				limit = baseline.Value * (1 - r.TolerancePct/100)
+			} else {
+				limit = baseline.Value * (1 + r.TolerancePct/100)
+			}
+		}
+		ck := CheckResult{
+			Kind: "regression", Metric: r.Metric, Bound: bound,
+			Budget: limit, Measured: measured, Baseline: baseline,
+			TolerancePct: r.TolerancePct, Pass: pass, Detail: detail,
+		}
+		if !pass {
+			cr.Pass = false
+		}
+		cr.Checks = append(cr.Checks, ck)
+	}
+
+	verdict := "ok"
+	if !cr.Pass {
+		verdict = "FAIL"
+	}
+	logf(log, "case %-20s %s  %.2fs  %s", c.Name, verdict, cr.WallSec, metricsLine(metrics))
+	return cr
+}
+
+// sampleProcess reads the registry's process gauges into a map. Function
+// gauges are evaluated at visit time, so this is a live sample.
+func sampleProcess(reg *obs.Registry) map[string]float64 {
+	out := map[string]float64{}
+	reg.VisitSeries(func(name, _ string, value float64) {
+		out[name] = value
+	})
+	return out
+}
+
+func metricsLine(m map[string]float64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%.4g", k, m[k])
+	}
+	return s
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+// ExitCode maps a report to the CLI contract: 0 all checks pass, 1 any
+// violation.
+func ExitCode(r *Report) int {
+	if r.Pass {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,252 @@
+package wlcheck
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+)
+
+// writeTree lays out a workload-checks tree in a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(dir, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const tinyMachine = "gomaxprocs: 2\ngomemlimit_mb: 512\nwall_budget_sec: 120\n"
+
+// tinyDDPG is the cheapest real workload invocation: 3 updates, ~15ms.
+const tinyDDPG = `workload: ddpg_update
+params:
+  ops: 3
+budgets:
+  ns_per_op_max: 1e10
+`
+
+func TestRunPassesGenerousBudgets(t *testing.T) {
+	checks := writeTree(t, map[string]string{
+		"t/machine.yaml":             tinyMachine,
+		"t/cases/ddpg/case.yaml":     tinyDDPG,
+		"t/cases/envmodel/case.yaml": "workload: envmodel_fit\nparams:\n  epochs: 3\nbudgets:\n  ns_per_op_max: 1e10\n  ops_per_sec_min: 0.001\n",
+	})
+	rep, err := Run(Options{ChecksDir: checks, Class: "t", BaselineDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass || len(rep.Violations) != 0 {
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("expected pass, got:\n%s", raw)
+	}
+	if len(rep.Cases) != 2 || rep.Cases[0].Name != "ddpg" || rep.Cases[1].Name != "envmodel" {
+		t.Fatalf("cases out of order: %+v", rep.Cases)
+	}
+	for _, c := range rep.Cases {
+		if c.Metrics["ns_per_op"] <= 0 {
+			t.Fatalf("case %s measured nothing: %+v", c.Name, c.Metrics)
+		}
+		if c.Resources.Goroutines <= 0 {
+			t.Fatalf("case %s has no resource sample: %+v", c.Name, c.Resources)
+		}
+	}
+	if !rep.Wall.Pass || rep.Wall.Budget != 120 {
+		t.Fatalf("wall check %+v", rep.Wall)
+	}
+	if ExitCode(rep) != 0 {
+		t.Fatal("exit code for a passing report must be 0")
+	}
+}
+
+// TestRunImpossibleBudgetFails is the gate-actually-fires proof at the
+// package level: a case whose budget no hardware can meet must produce a
+// named violation and exit code 1.
+func TestRunImpossibleBudgetFails(t *testing.T) {
+	checks := writeTree(t, map[string]string{
+		"t/machine.yaml": tinyMachine,
+		"t/cases/impossible/case.yaml": `workload: ddpg_update
+params:
+  ops: 3
+budgets:
+  ns_per_op_max: 1
+`,
+	})
+	rep, err := Run(Options{ChecksDir: checks, Class: "t", BaselineDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("a 1ns DDPG-update budget passed")
+	}
+	if len(rep.Violations) != 1 || rep.Violations[0] != "impossible/budget/ns_per_op" {
+		t.Fatalf("violations %v, want [impossible/budget/ns_per_op]", rep.Violations)
+	}
+	if ExitCode(rep) != 1 {
+		t.Fatal("exit code for a failing report must be 1")
+	}
+	ck := rep.Cases[0].Checks[0]
+	if ck.Pass || ck.Budget != 1 || ck.Measured <= 1 {
+		t.Fatalf("check %+v", ck)
+	}
+}
+
+// TestRunRegressionGate proves the trajectory comparison fires: a
+// synthetic BENCH file claims DDPG updates once took 1ns, so any real
+// measurement is a >tolerance regression.
+func TestRunRegressionGate(t *testing.T) {
+	checks := writeTree(t, map[string]string{
+		"t/machine.yaml": tinyMachine,
+		"t/cases/ddpg/case.yaml": `workload: ddpg_update
+params:
+  ops: 3
+budgets:
+  ns_per_op_max: 1e10
+regression:
+  source: bench
+  name: BenchmarkDDPGUpdate
+  metric: ns_per_op
+  tolerance_pct: 50
+`,
+	})
+	base := t.TempDir()
+	writeFile(t, base, "BENCH_19990101.json",
+		`[{"name": "BenchmarkDDPGUpdate", "iterations": 1, "ns_per_op": 1}]`)
+	rep, err := Run(Options{ChecksDir: checks, Class: "t", BaselineDir: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || len(rep.Violations) != 1 || rep.Violations[0] != "ddpg/regression/ns_per_op" {
+		t.Fatalf("violations %v, want [ddpg/regression/ns_per_op]", rep.Violations)
+	}
+	var reg *CheckResult
+	for i := range rep.Cases[0].Checks {
+		if rep.Cases[0].Checks[i].Kind == "regression" {
+			reg = &rep.Cases[0].Checks[i]
+		}
+	}
+	if reg == nil || reg.Baseline == nil || reg.Baseline.Value != 1 || reg.Baseline.File != "BENCH_19990101.json" {
+		t.Fatalf("regression check %+v", reg)
+	}
+
+	// Same tree, no history: the regression check passes as a first
+	// baseline instead of failing.
+	rep, err = Run(Options{ChecksDir: checks, Class: "t", BaselineDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("no-history run failed: %v", rep.Violations)
+	}
+}
+
+func TestRunWallBudgetViolation(t *testing.T) {
+	checks := writeTree(t, map[string]string{
+		"t/machine.yaml":         "gomaxprocs: 2\ngomemlimit_mb: 512\nwall_budget_sec: 1e-9\n",
+		"t/cases/ddpg/case.yaml": tinyDDPG,
+	})
+	rep, err := Run(Options{ChecksDir: checks, Class: "t", BaselineDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || len(rep.Violations) != 1 || rep.Violations[0] != "class/wall/wall_sec" {
+		t.Fatalf("violations %v, want [class/wall/wall_sec]", rep.Violations)
+	}
+}
+
+func TestRunPinsMachineLimits(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	checks := writeTree(t, map[string]string{
+		"t/machine.yaml":          "gomaxprocs: 1\ngomemlimit_mb: 512\nwall_budget_sec: 120\n",
+		"t/cases/probe/case.yaml": "workload: probe_gomaxprocs\nbudgets:\n  gomaxprocs_max: 1\n",
+	})
+	rep, err := Run(Options{ChecksDir: checks, Class: "t", BaselineDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("probe saw GOMAXPROCS %v during the run (want 1): %+v",
+			rep.Cases[0].Metrics["gomaxprocs"], rep.Violations)
+	}
+	if got := runtime.GOMAXPROCS(0); got != prev {
+		t.Fatalf("GOMAXPROCS not restored: %d, want %d", got, prev)
+	}
+	if !rep.Pinned {
+		t.Fatal("report must record that limits were pinned")
+	}
+}
+
+func TestRunCaseFilter(t *testing.T) {
+	checks := writeTree(t, map[string]string{
+		"t/machine.yaml":             tinyMachine,
+		"t/cases/ddpg/case.yaml":     tinyDDPG,
+		"t/cases/envmodel/case.yaml": "workload: envmodel_fit\nparams:\n  epochs: 3\nbudgets:\n  ns_per_op_max: 1e10\n",
+	})
+	rep, err := Run(Options{
+		ChecksDir: checks, Class: "t", BaselineDir: t.TempDir(),
+		CaseFilter: regexp.MustCompile("^ddpg$"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 1 || rep.Cases[0].Name != "ddpg" {
+		t.Fatalf("filter ran %+v", rep.Cases)
+	}
+}
+
+// TestReportJSONDeterministicShape pins the report contract: per-case
+// budget, measured value, baseline, and verdict all present, and a decode
+// of the encoded report is loss-free for those fields.
+func TestReportJSONDeterministicShape(t *testing.T) {
+	checks := writeTree(t, map[string]string{
+		"t/machine.yaml":         tinyMachine,
+		"t/cases/ddpg/case.yaml": tinyDDPG,
+	})
+	base := t.TempDir()
+	writeFile(t, base, "BENCH_20260101.json",
+		`[{"name": "BenchmarkDDPGUpdate", "iterations": 1, "ns_per_op": 5000000}]`)
+	rep, err := Run(Options{ChecksDir: checks, Class: "t", BaselineDir: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.SchemaVersion != 1 || decoded.Class.Name != "t" || decoded.Class.GOMAXPROCS != 2 {
+		t.Fatalf("decoded class %+v", decoded.Class)
+	}
+	ck := decoded.Cases[0].Checks[0]
+	if ck.Kind != "budget" || ck.Metric != "ns_per_op" || ck.Budget != 1e10 || ck.Measured <= 0 || !ck.Pass {
+		t.Fatalf("decoded budget check %+v", ck)
+	}
+	if decoded.HistoryFiles[0] != "BENCH_20260101.json" {
+		t.Fatalf("history files %v", decoded.HistoryFiles)
+	}
+}
+
+// probe_gomaxprocs is a test-only workload that reports the live
+// GOMAXPROCS so TestRunPinsMachineLimits can observe the pin from inside
+// a case.
+func init() {
+	workloads["probe_gomaxprocs"] = Workload{
+		Name:    "probe_gomaxprocs",
+		Metrics: []string{"gomaxprocs"},
+		Run: func(Params) (map[string]float64, error) {
+			return map[string]float64{"gomaxprocs": float64(runtime.GOMAXPROCS(0))}, nil
+		},
+	}
+}

@@ -1,0 +1,272 @@
+// Package wlcheck runs declared perf workloads against a declared machine
+// class and fails when budgets are missed — the DataDog SMP "workload
+// checks" idea ported to this repo. A workload-checks tree declares machine
+// classes (machine.yaml: GOMAXPROCS, GOMEMLIMIT, wall-clock budget) each
+// holding cases (case.yaml: a workload, its knobs, per-metric budgets, and
+// an optional regression check against the recorded BENCH_*.json /
+// LOADGEN_*.json trajectory). The runner pins the class's limits, executes
+// every case in-process, samples runtime resources through the obs
+// registry, and emits a machine-readable report whose violations gate CI.
+package wlcheck
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseYAML decodes the strict YAML subset the workload-checks tree uses:
+// mappings whose values are scalars or nested mappings. The subset is
+// deliberately tiny — it is a configuration format, not a data language:
+//
+//   - one "key: value" or "key:" per line
+//   - nesting by consistent space indentation (tabs are an error)
+//   - full-line comments (#) and blank lines
+//   - trailing comments after unquoted values (" #"); values containing
+//     " #" or leading/trailing spaces must be double-quoted
+//   - no sequences, no flow syntax ({...}, [...]), no anchors, no
+//     multi-line scalars, no duplicate keys
+//
+// Scalars stay strings here; the schema layer parses and range-checks them
+// so error messages can name the field.
+func parseYAML(data []byte) (map[string]any, error) {
+	root := map[string]any{}
+	type frame struct {
+		indent int // indent of the keys in this mapping; -1 = not yet known
+		m      map[string]any
+	}
+	stack := []frame{{indent: 0, m: root}}
+	lines := strings.Split(string(data), "\n")
+	for ln, raw := range lines {
+		lineNo := ln + 1
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		ws := raw[:len(raw)-len(strings.TrimLeft(raw, " \t"))]
+		if strings.ContainsRune(ws, '\t') {
+			return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", lineNo)
+		}
+		indent := len(ws)
+		if strings.HasPrefix(trimmed, "- ") || trimmed == "-" {
+			return nil, fmt.Errorf("line %d: sequences are not supported by the workload-checks YAML subset", lineNo)
+		}
+
+		// Pop frames until this line's indent fits the innermost mapping.
+		for len(stack) > 1 && indent < stack[len(stack)-1].indent {
+			stack = stack[:len(stack)-1]
+		}
+		top := &stack[len(stack)-1]
+		if top.indent == -1 {
+			// First key of a just-opened nested mapping fixes its indent.
+			parent := stack[len(stack)-2].indent
+			if indent <= parent {
+				// The nested mapping turned out to be empty; the line
+				// belongs to an outer level.
+				stack = stack[:len(stack)-1]
+				for len(stack) > 1 && indent < stack[len(stack)-1].indent {
+					stack = stack[:len(stack)-1]
+				}
+				top = &stack[len(stack)-1]
+			} else {
+				top.indent = indent
+			}
+		}
+		if indent != top.indent {
+			return nil, fmt.Errorf("line %d: unexpected indent %d (mapping at indent %d)", lineNo, indent, top.indent)
+		}
+
+		key, rest, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return nil, fmt.Errorf("line %d: expected \"key: value\" or \"key:\"", lineNo)
+		}
+		key = strings.TrimSpace(key)
+		if key == "" {
+			return nil, fmt.Errorf("line %d: empty key", lineNo)
+		}
+		if strings.ContainsAny(key, "\"'{}[]#") {
+			return nil, fmt.Errorf("line %d: unsupported key syntax %q", lineNo, key)
+		}
+		if _, dup := top.m[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", lineNo, key)
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "" || strings.HasPrefix(rest, "#") {
+			// Nested mapping (possibly empty).
+			child := map[string]any{}
+			top.m[key] = child
+			stack = append(stack, frame{indent: -1, m: child})
+			continue
+		}
+		val, err := parseScalar(rest)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		top.m[key] = val
+	}
+	return root, nil
+}
+
+// parseScalar decodes one scalar value, stripping a trailing comment from
+// unquoted values.
+func parseScalar(s string) (string, error) {
+	if strings.HasPrefix(s, "\"") {
+		val, err := strconv.Unquote(s[:quotedEnd(s)])
+		if err != nil {
+			return "", fmt.Errorf("bad quoted value %s: %v", s, err)
+		}
+		rest := strings.TrimSpace(s[quotedEnd(s):])
+		if rest != "" && !strings.HasPrefix(rest, "#") {
+			return "", fmt.Errorf("trailing content after quoted value: %q", rest)
+		}
+		return val, nil
+	}
+	if strings.HasPrefix(s, "'") {
+		return "", fmt.Errorf("single-quoted values are not supported; use double quotes")
+	}
+	if strings.ContainsAny(s, "{}[]") {
+		return "", fmt.Errorf("flow syntax is not supported by the workload-checks YAML subset: %q", s)
+	}
+	if i := strings.Index(s, " #"); i >= 0 {
+		s = strings.TrimSpace(s[:i])
+	}
+	return s, nil
+}
+
+// quotedEnd returns the index one past the closing quote of a
+// double-quoted string starting at s[0] (len(s) if unterminated, which
+// strconv.Unquote then rejects).
+func quotedEnd(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i + 1
+		}
+	}
+	return len(s)
+}
+
+// strictMap wraps a decoded mapping with taken-key tracking so schemas can
+// reject unknown fields — a typoed budget must fail loudly, not silently
+// gate nothing.
+type strictMap struct {
+	path string // for error messages, e.g. "machine.yaml" or "case.yaml: budgets"
+	m    map[string]any
+	used map[string]bool
+}
+
+func newStrictMap(path string, m map[string]any) *strictMap {
+	return &strictMap{path: path, m: m, used: map[string]bool{}}
+}
+
+// finish errors on any key the schema never consumed.
+func (s *strictMap) finish() error {
+	var unknown []string
+	for k := range s.m {
+		if !s.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sortStrings(unknown)
+		return fmt.Errorf("%s: unknown field(s): %s", s.path, strings.Join(unknown, ", "))
+	}
+	return nil
+}
+
+func (s *strictMap) has(key string) bool {
+	_, ok := s.m[key]
+	return ok
+}
+
+func (s *strictMap) scalar(key string) (string, bool, error) {
+	v, ok := s.m[key]
+	if !ok {
+		return "", false, nil
+	}
+	s.used[key] = true
+	str, ok := v.(string)
+	if !ok {
+		return "", false, fmt.Errorf("%s: field %q: expected a scalar, got a mapping", s.path, key)
+	}
+	return str, true, nil
+}
+
+func (s *strictMap) mapping(key string) (*strictMap, bool, error) {
+	v, ok := s.m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	s.used[key] = true
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, false, fmt.Errorf("%s: field %q: expected a mapping, got a scalar", s.path, key)
+	}
+	return newStrictMap(s.path+": "+key, m), true, nil
+}
+
+// str reads a required non-empty string field.
+func (s *strictMap) str(key string) (string, error) {
+	v, ok, err := s.scalar(key)
+	if err != nil {
+		return "", err
+	}
+	if !ok || v == "" {
+		return "", fmt.Errorf("%s: missing required field %q", s.path, key)
+	}
+	return v, nil
+}
+
+// intField reads a required integer field and range-checks it.
+func (s *strictMap) intField(key string, min, max int) (int, error) {
+	v, err := s.str(key)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s: field %q: not an integer: %q", s.path, key, v)
+	}
+	if n < min || n > max {
+		return 0, fmt.Errorf("%s: field %q: %d out of range [%d, %d]", s.path, key, n, min, max)
+	}
+	return n, nil
+}
+
+// floatField reads a required finite float field and range-checks it.
+// NaN and ±Inf are rejected outright — the same finite-float hardening
+// faults.Spec.Validate needed, because NaN passes every ordered comparison
+// and a NaN budget would gate nothing.
+func (s *strictMap) floatField(key string, min float64) (float64, error) {
+	v, err := s.str(key)
+	if err != nil {
+		return 0, err
+	}
+	return parseFinite(s.path, key, v, min)
+}
+
+func parseFinite(path, key, v string, min float64) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: field %q: not a number: %q", path, key, v)
+	}
+	if f != f || f > 1e300 || f < -1e300 {
+		return 0, fmt.Errorf("%s: field %q: must be finite, got %q", path, key, v)
+	}
+	if f < min {
+		return 0, fmt.Errorf("%s: field %q: %v below minimum %v", path, key, f, min)
+	}
+	return f, nil
+}
+
+// sortStrings is sort.Strings without dragging package sort into every
+// error path caller.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

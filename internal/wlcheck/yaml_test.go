@@ -1,0 +1,115 @@
+package wlcheck
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLNested(t *testing.T) {
+	got, err := parseYAML([]byte(`
+# machine class for CI
+workload: ddpg_update
+params:
+  ops: 40
+budgets:
+  ns_per_op_max: 60000000  # generous
+  ops_per_sec_min: 1
+regression:
+  source: bench
+  name: "BenchmarkDDPGUpdate"
+  metric: ns_per_op
+  tolerance_pct: 300
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"workload": "ddpg_update",
+		"params":   map[string]any{"ops": "40"},
+		"budgets": map[string]any{
+			"ns_per_op_max":   "60000000",
+			"ops_per_sec_min": "1",
+		},
+		"regression": map[string]any{
+			"source": "bench", "name": "BenchmarkDDPGUpdate",
+			"metric": "ns_per_op", "tolerance_pct": "300",
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %#v, want %#v", got, want)
+	}
+}
+
+func TestParseYAMLDeepNestingAndDedent(t *testing.T) {
+	got, err := parseYAML([]byte("a:\n  b:\n    c: 1\n  d: 2\ne: 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"a": map[string]any{
+			"b": map[string]any{"c": "1"},
+			"d": "2",
+		},
+		"e": "3",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %#v, want %#v", got, want)
+	}
+}
+
+func TestParseYAMLEmptyNestedMapping(t *testing.T) {
+	got, err := parseYAML([]byte("a:\nb: 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"a": map[string]any{}, "b": "1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %#v, want %#v", got, want)
+	}
+}
+
+func TestParseYAMLRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"tab indent", "a:\n\tb: 1\n", "tab"},
+		{"sequence", "a:\n  - x\n", "sequences"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate"},
+		{"flow map", "a: {b: 1}\n", "flow"},
+		{"flow seq", "a: [1, 2]\n", "flow"},
+		{"bare line", "just words\n", "key"},
+		{"inconsistent indent", "a:\n   b: 1\n  c: 2\n", "indent"},
+		{"over-indent under scalar", "a: 1\n    b: 2\n", "indent"},
+		{"single quotes", "a: 'x'\n", "double quotes"},
+		{"unterminated quote", "a: \"x\n", "quoted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error containing %q", tc.in, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseScalarTrailingCommentAndQuotes(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"42 # answer", "42"},
+		{"\"a # not a comment\"", "a # not a comment"},
+		{"\"quoted\" # trailing", "quoted"},
+		{"plain", "plain"},
+	} {
+		got, err := parseScalar(tc.in)
+		if err != nil {
+			t.Fatalf("parseScalar(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("parseScalar(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

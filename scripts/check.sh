@@ -29,4 +29,9 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Machine-class workload checks: the ci-small class under its pinned
+# limits, gated on declared budgets and the recorded perf trajectory.
+echo "==> miras-wlcheck -class ci-small"
+go run ./cmd/miras-wlcheck -class ci-small -baseline-dir . -out wlcheck-report.json
+
 echo "OK"
