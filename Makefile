@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke wlcheck-smoke fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo loadgen-demo
+.PHONY: build test vet race check bench bench-smoke wlcheck-smoke fmt fuzz-smoke obs-demo chaos-demo golden-demo resume-demo loadgen-demo failover-demo
 
 build:
 	$(GO) build ./...
@@ -89,3 +89,10 @@ resume-demo:
 # across two processes sharing a spill directory.
 loadgen-demo:
 	./scripts/loadgen_demo.sh
+
+# Serving-resilience gate: a resilient router (retries, breakers, probes,
+# automated failover) over 2 shards sharing a spill directory; one shard
+# is SIGKILLed at 40% of a seeded Zipf trace and the replay must stay
+# inside a 1% error budget with the dead shard's sessions still serving.
+failover-demo:
+	./scripts/failover_demo.sh

@@ -12,6 +12,14 @@
 // quantiles as BENCH_*.json-shaped rows so the serving numbers ride the
 // same trajectory as the micro-benchmarks. With -fail-on-5xx the exit
 // status enforces a zero-5xx run — the CI contract.
+//
+// Chaos mode: -chaos-kill-pid <pid> -chaos-kill-at 0.4 SIGKILLs the given
+// process when the dispatch loop reaches 40% of the trace, and the replay
+// carries on into the outage; the summary's availability_pct and
+// error-budget columns measure how well the serving tier absorbed it.
+// -idempotency-keys tags step POSTs so a resilient router may retry them;
+// -error-budget 0.01 -fail-on-error-budget makes a >1% client-visible
+// error rate an exit failure — how the failover demo asserts recovery.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"syscall"
 	"time"
 
 	"miras/internal/checkpoint"
@@ -48,24 +57,52 @@ func run() error {
 	out := flag.String("out", "", "optional file for the JSON summary (stdout always gets it)")
 	benchOut := flag.String("bench-out", "", "optional file for BENCH-compatible quantile rows")
 	failOn5xx := flag.Bool("fail-on-5xx", false, "exit non-zero if any request answered 5xx")
+	chaosKillPid := flag.Int("chaos-kill-pid", 0,
+		"chaos mode: SIGKILL this process id when the dispatch reaches -chaos-kill-at")
+	chaosKillAt := flag.Float64("chaos-kill-at", 0,
+		"chaos trigger point as a fraction of the trace in (0,1); requires -chaos-kill-pid")
+	idempotencyKeys := flag.Bool("idempotency-keys", false,
+		"tag step POSTs with unique X-Miras-Idempotency-Key headers so a resilient router may retry them")
+	errorBudget := flag.Float64("error-budget", 0,
+		"client-visible error-rate bound reported in the summary (e.g. 0.01)")
+	failOnErrorBudget := flag.Bool("fail-on-error-budget", false,
+		"exit non-zero if the error rate exceeds -error-budget")
 	flag.Parse()
 
 	if *target == "" {
 		return fmt.Errorf("-target is required")
 	}
+	if *chaosKillAt > 0 && *chaosKillPid <= 0 {
+		return fmt.Errorf("-chaos-kill-at requires -chaos-kill-pid")
+	}
+	if *failOnErrorBudget && *errorBudget <= 0 {
+		return fmt.Errorf("-fail-on-error-budget requires -error-budget")
+	}
+	var killHook func()
+	if *chaosKillAt > 0 {
+		pid := *chaosKillPid
+		killHook = func() {
+			fmt.Fprintf(os.Stderr, "miras-loadgen: chaos: SIGKILL pid %d\n", pid)
+			_ = syscall.Kill(pid, syscall.SIGKILL)
+		}
+	}
 	res, err := loadgen.Run(loadgen.Config{
-		Target:      *target,
-		Requests:    *requests,
-		Sessions:    *sessions,
-		Concurrency: *concurrency,
-		Skew:        *skew,
-		ZipfS:       *zipfS,
-		StepShare:   *stepShare,
-		Seed:        *seed,
-		Ensemble:    *ensemble,
-		Budget:      *budget,
-		WindowSec:   *windowSec,
-		Timeout:     *timeout,
+		Target:          *target,
+		Requests:        *requests,
+		Sessions:        *sessions,
+		Concurrency:     *concurrency,
+		Skew:            *skew,
+		ZipfS:           *zipfS,
+		StepShare:       *stepShare,
+		Seed:            *seed,
+		Ensemble:        *ensemble,
+		Budget:          *budget,
+		WindowSec:       *windowSec,
+		Timeout:         *timeout,
+		ChaosKillAt:     *chaosKillAt,
+		KillHook:        killHook,
+		IdempotencyKeys: *idempotencyKeys,
+		ErrorBudget:     *errorBudget,
 	})
 	if err != nil {
 		return err
@@ -92,6 +129,10 @@ func run() error {
 	}
 	if *failOn5xx && res.Error5xx > 0 {
 		return fmt.Errorf("%d requests answered 5xx (statuses %v)", res.Error5xx, res.Statuses)
+	}
+	if *failOnErrorBudget && res.WithinErrorBudget != nil && !*res.WithinErrorBudget {
+		return fmt.Errorf("error rate %.4f exceeded the %.4f error budget (statuses %v)",
+			res.ErrorRate, *errorBudget, res.Statuses)
 	}
 	return nil
 }

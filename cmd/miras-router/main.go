@@ -20,6 +20,18 @@
 //
 // The router shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests up to -shutdown-timeout.
+//
+// Resilience (all opt-in; defaults preserve plain forwarding): -retries
+// enables bounded retries with exponential backoff + full jitter for
+// idempotent requests (GET/DELETE, POSTs with X-Miras-Idempotency-Key),
+// honoring Retry-After; -breaker-threshold arms a per-member circuit
+// breaker (closed→open→half-open) fed by transport failures and the
+// -probe-interval /healthz probe loop; -request-timeout bounds a whole
+// forwarded request (all attempts) and is propagated downstream as
+// X-Miras-Deadline-Ms so shards abandon work the client gave up on;
+// -failover reacts to a breaker trip by rehydrating the dead member's
+// spilled sessions on a healthy fallback (the fleet must share -spill-dir)
+// and re-routing its ids there.
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,7 +62,23 @@ func run() error {
 	shards := flag.String("shards", "",
 		"comma-separated shard base URLs (the ring member list; must match the shards' -shard-peers)")
 	upstreamTimeout := flag.Duration("upstream-timeout", 30*time.Second,
-		"per-forward deadline for reaching a shard")
+		"per-attempt deadline for reaching a shard")
+	requestTimeout := flag.Duration("request-timeout", 0,
+		"whole-request budget across all attempts, propagated to shards as X-Miras-Deadline-Ms (0 = per-attempt timeout only)")
+	connectTimeout := flag.Duration("connect-timeout", 5*time.Second,
+		"TCP connect deadline for shard dials")
+	maxIdlePerHost := flag.Int("max-idle-conns-per-host", 32,
+		"idle connections kept per shard")
+	retries := flag.Int("retries", 0,
+		"extra attempts for idempotent requests after a failure (0 = no retries)")
+	breakerThreshold := flag.Int("breaker-threshold", 0,
+		"consecutive transport failures that trip a member's circuit breaker (0 = no breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second,
+		"how long a tripped breaker stays open before a half-open trial")
+	probeInterval := flag.Duration("probe-interval", 0,
+		"active /healthz probe period feeding the breakers (0 = no probing; requires -breaker-threshold)")
+	failover := flag.Bool("failover", false,
+		"on breaker trip, rehydrate the dead member's spilled sessions on a fallback and re-route its ids (requires -breaker-threshold and a shared -spill-dir on the shards)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second,
 		"grace period for draining requests on SIGINT/SIGTERM")
 	flag.Parse()
@@ -57,13 +86,36 @@ func run() error {
 	if *shards == "" {
 		return errors.New("-shards is required (comma-separated shard base URLs)")
 	}
+	if *failover && *breakerThreshold <= 0 {
+		return errors.New("-failover requires -breaker-threshold (a breaker trip is the failover trigger)")
+	}
+	if *probeInterval > 0 && *breakerThreshold <= 0 {
+		return errors.New("-probe-interval requires -breaker-threshold (probes feed the breakers)")
+	}
 	members := strings.Split(*shards, ",")
 	for i := range members {
 		members[i] = strings.TrimRight(strings.TrimSpace(members[i]), "/")
 	}
 
+	transport := &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   *connectTimeout,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        *maxIdlePerHost * len(members),
+		MaxIdleConnsPerHost: *maxIdlePerHost,
+		IdleConnTimeout:     90 * time.Second,
+	}
 	rt, err := router.New(members,
-		router.WithClient(&http.Client{Timeout: *upstreamTimeout}))
+		router.WithClient(&http.Client{Timeout: *upstreamTimeout, Transport: transport}),
+		router.WithResilience(router.Resilience{
+			MaxRetries:       *retries,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			ProbeInterval:    *probeInterval,
+			RequestTimeout:   *requestTimeout,
+			Failover:         *failover,
+		}))
 	if err != nil {
 		return err
 	}
@@ -80,6 +132,8 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	go rt.RunProbes(ctx)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.ListenAndServe() }()

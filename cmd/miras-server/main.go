@@ -70,6 +70,8 @@ func run() error {
 		"directory for eviction/drain snapshot spill; enables POST /v1/admin/drain and /v1/admin/rehydrate")
 	sweepInterval := flag.Duration("sweep-interval", 30*time.Second,
 		"how often to evict sessions past their TTL or idle bound (0 disables the sweeper)")
+	spillSyncInterval := flag.Duration("spill-sync-interval", 0,
+		"how often to snapshot every live session to the spill store without evicting (requires -spill-dir; 0 disables) — bounds how much history a crashed-without-drain process loses to at most one interval, so a router failover can rehydrate near-current sessions on a fallback")
 	flag.Parse()
 
 	rec, err := obs.FileRecorder(*traceOut, *logLevel)
@@ -167,6 +169,25 @@ func run() error {
 					return
 				case <-ticker.C:
 					srv.SweepExpired()
+				}
+			}
+		}()
+	}
+
+	if *spillSyncInterval > 0 {
+		if *spillDir == "" {
+			return errors.New("-spill-sync-interval requires -spill-dir")
+		}
+		go func() {
+			ticker := time.NewTicker(*spillSyncInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					// Best-effort: failures land in miras_spill_errors_total.
+					_, _ = srv.SpillAll()
 				}
 			}
 		}()

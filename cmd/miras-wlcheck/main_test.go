@@ -80,12 +80,12 @@ func TestCommittedTreeDecodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cl.Cases) != 6 {
+	if len(cl.Cases) != 7 {
 		names := make([]string, len(cl.Cases))
 		for i, c := range cl.Cases {
 			names[i] = c.Name
 		}
-		t.Fatalf("ci-small has cases %v, want 6", names)
+		t.Fatalf("ci-small has cases %v, want 7", names)
 	}
 	if _, err := wlcheck.LoadClass(dir, "regression-proof"); err != nil {
 		t.Fatal(err)

@@ -55,6 +55,18 @@ const (
 	// CodeRequestTimeout means the handler did not finish within the
 	// server's request deadline (HTTP 408).
 	CodeRequestTimeout ErrorCode = "request_timeout"
+	// CodeDeadlineExceeded means the client's propagated deadline (the
+	// X-Miras-Deadline-Ms header) expired before the work finished
+	// (HTTP 504). Unlike request_timeout — the server protecting itself —
+	// this is the server honoring a budget the caller declared: work the
+	// client has already given up on is abandoned, not finished.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeUpstreamDegraded is emitted by miras-router when the owning
+	// shard's circuit breaker is open (HTTP 503): the shard is presumed
+	// down and requests fail fast instead of waiting out a dial timeout.
+	// Distinct from upstream_unreachable, which reports an actual failed
+	// transport attempt.
+	CodeUpstreamDegraded ErrorCode = "upstream_degraded"
 	// CodeInternal is a server-side failure (spill I/O, drain errors).
 	// Unlike the codes above its occurrences are environmental, so the
 	// golden test does not pin it.

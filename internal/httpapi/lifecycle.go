@@ -1,7 +1,10 @@
 package httpapi
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -48,6 +51,16 @@ type ListResponse struct {
 // evicted, sorted by id.
 type DrainResponse struct {
 	Spilled []string `json:"spilled"`
+}
+
+// RehydrateRequest is the optional body of POST /v1/admin/rehydrate.
+// TakeOver lists shard-process addresses whose spilled sessions this
+// process should adopt in addition to its own — miras-router's failover
+// path posts the dead member's address here so the fallback serves the
+// dead member's sessions from the shared spill directory. An empty body
+// keeps the default behavior (adopt only sessions this process owns).
+type RehydrateRequest struct {
+	TakeOver []string `json:"take_over,omitempty"`
 }
 
 // RehydrateResponse reports the spilled sessions POST /v1/admin/rehydrate
@@ -140,6 +153,51 @@ func (s *Server) spill(sess *session) error {
 	return st.Save(int(s.spillSeq.Add(1)), snap)
 }
 
+// SpillAll writes every live session's snapshot to the spill store without
+// evicting anything — the periodic spill-sync behind crash recovery: a
+// process that dies without draining (SIGKILL, OOM) leaves snapshots no
+// older than the sync interval for a fallback to rehydrate. It returns the
+// number of sessions spilled and the first error encountered (the sweep
+// continues past failures, counting them in miras_spill_errors_total).
+func (s *Server) SpillAll() (int, error) {
+	if s.spillDir == "" {
+		return 0, fmt.Errorf("spill-all requires a spill directory (start the server with -spill-dir)")
+	}
+	n := 0
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		victims := make([]*session, 0, len(sh.sessions))
+		for _, sess := range sh.sessions {
+			victims = append(victims, sess)
+		}
+		sh.mu.RUnlock()
+		for _, sess := range victims {
+			if err := s.spill(sess); err != nil {
+				s.spillErrors.Inc()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("spill session %q: %w", sess.id, err)
+				}
+				continue
+			}
+			n++
+		}
+	}
+	return n, firstErr
+}
+
+// removeSpill deletes id's spill store, if any. Best-effort: a failure is
+// counted but not surfaced — the caller's operation (a DELETE) already
+// succeeded against the live registry.
+func (s *Server) removeSpill(id string) {
+	if s.spillDir == "" || validateID(id) != nil {
+		return
+	}
+	if err := os.RemoveAll(filepath.Join(s.spillDir, id)); err != nil {
+		s.spillErrors.Inc()
+	}
+}
+
 // handleDrain spills every live session's snapshot to the spill store and
 // evicts it, so the process can be retired without losing state. Unlike
 // TTL/idle eviction, a drain spill failure aborts the drain — the
@@ -203,13 +261,31 @@ func (s *Server) evictDrained(sh *shard, sess *session) bool {
 // (fresh system from the snapshot's create request, operation log
 // replayed). Adopted sessions keep their original ids, shed their
 // tombstones, and their spill stores are deleted. Sessions the topology
-// assigns to another process are left on disk for their owner; sessions
-// that fail to rebuild are reported in "failed" and also left on disk.
+// assigns to another process are left on disk for their owner — unless the
+// request body names that owner in take_over, in which case this process
+// adopts them too (shard failover). Sessions that fail to rebuild are
+// reported in "failed" and left on disk.
 func (s *Server) handleRehydrate(w http.ResponseWriter, r *http.Request) {
 	if s.spillDir == "" {
 		writeError(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Errorf("rehydrate requires a spill directory (start the server with -spill-dir)"))
 		return
+	}
+	var req RehydrateRequest
+	if body, err := io.ReadAll(r.Body); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("rehydrate: read body: %w", err))
+		return
+	} else if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("rehydrate: %w", err))
+			return
+		}
+	}
+	takeOver := make(map[string]bool, len(req.TakeOver))
+	for _, m := range req.TakeOver {
+		takeOver[m] = true
 	}
 	entries, err := os.ReadDir(s.spillDir)
 	if err != nil && !os.IsNotExist(err) {
@@ -226,8 +302,10 @@ func (s *Server) handleRehydrate(w http.ResponseWriter, r *http.Request) {
 		if validateID(id) != nil {
 			continue // not a session spill store
 		}
-		if s.topo != nil && s.topo.ring.Owner(id) != s.topo.self {
-			continue // another process's session; leave it for its owner
+		if s.topo != nil {
+			if owner := s.topo.ring.Owner(id); owner != s.topo.self && !takeOver[owner] {
+				continue // another process's session; leave it for its owner
+			}
 		}
 		if s.sessionByID(id) != nil {
 			continue // already live here

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"miras/internal/baselines"
@@ -358,6 +359,54 @@ func (b *bufferedResponse) Header() http.Header { return b.header }
 func (b *bufferedResponse) WriteHeader(status int) { b.status = status }
 
 func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+// deadlineMiddleware honors the caller's propagated deadline: a request
+// carrying DeadlineHeader (remaining budget in whole milliseconds) is
+// bounded by a context deadline and answered 504 deadline_exceeded once
+// the budget is spent — the caller has already given up, so the work is
+// abandoned, not finished. Requests without the header pass through
+// untouched. An already-exhausted budget (≤ 0 ms) is refused before the
+// handler runs at all.
+func deadlineMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw := r.Header.Get(DeadlineHeader)
+		if raw == "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("invalid %s header %q", DeadlineHeader, raw))
+			return
+		}
+		if ms <= 0 {
+			writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				fmt.Errorf("request deadline already exhausted"))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+		defer cancel()
+		buf := &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			next.ServeHTTP(buf, r.WithContext(ctx))
+		}()
+		select {
+		case <-done:
+			h := w.Header()
+			for k, vs := range buf.header {
+				h[k] = vs
+			}
+			w.WriteHeader(buf.status)
+			_, _ = w.Write(buf.body.Bytes())
+		case <-ctx.Done():
+			writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				fmt.Errorf("request exceeded its %dms deadline", ms))
+		}
+	})
+}
 
 // timeoutMiddleware bounds handler execution at d. Responses are buffered,
 // so a request that exceeds the deadline yields a clean 408

@@ -34,8 +34,9 @@
 // with one of the stable codes: bad_request, unknown_ensemble,
 // bad_session_config, session_limit, session_not_found, session_expired,
 // wrong_shard, bad_allocation, bad_burst, bad_fault_plan, bad_policy,
-// bad_snapshot, body_too_large, request_timeout. Clients branch on code;
-// messages may change (except as pinned by the golden envelope test).
+// bad_snapshot, body_too_large, request_timeout, deadline_exceeded.
+// Clients branch on code; messages may change (except as pinned by the
+// golden envelope test).
 //
 // # Sharding
 //
@@ -111,6 +112,25 @@ import (
 // ring, and forwards the create with this header so the shard adopts the
 // router's id instead of minting its own.
 const SessionIDHeader = "X-Miras-Session-Id"
+
+// DeadlineHeader carries the caller's remaining request budget in whole
+// milliseconds. miras-router recomputes it per upstream attempt; a server
+// seeing it bounds the handler with a context deadline and answers 504
+// deadline_exceeded once the budget is spent, so work the client has
+// already abandoned is not finished on its behalf.
+const DeadlineHeader = "X-Miras-Deadline-Ms"
+
+// FailoverHeader names the dead shard-process a request was re-routed away
+// from. miras-router sets it when a ring override is in force; the fallback
+// member accepts session ids the topology assigns to the named member
+// instead of answering 421 wrong_shard.
+const FailoverHeader = "X-Miras-Failover-From"
+
+// IdempotencyKeyHeader marks a POST as safe to retry. The serving stack's
+// POSTs are not idempotent in general (a step advances the environment), so
+// miras-router only retries POSTs that carry this header — the caller's
+// declaration that a duplicate apply is acceptable or deduplicated.
+const IdempotencyKeyHeader = "X-Miras-Idempotency-Key"
 
 // Server is the HTTP handler. It is safe for concurrent use: the session
 // registry is split across in-process shards, each guarding its own map
@@ -463,6 +483,9 @@ func (s *Server) Handler() http.Handler {
 	if s.reqTimeout > 0 {
 		h = timeoutMiddleware(s.reqTimeout, h)
 	}
+	// Outermost so a client deadline tighter than the server's own request
+	// timeout answers 504 deadline_exceeded, not 408.
+	h = deadlineMiddleware(h)
 	return h
 }
 
@@ -703,7 +726,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if s.topo != nil {
-			if owner := s.topo.ring.Owner(id); owner != s.topo.self {
+			// A failover re-route carries the dead owner's address; this
+			// process adopts its ids for the duration of the outage.
+			if owner := s.topo.ring.Owner(id); owner != s.topo.self &&
+				owner != r.Header.Get(FailoverHeader) {
 				writeError(w, http.StatusMisdirectedRequest, CodeWrongShard,
 					fmt.Errorf("session %q is owned by shard %s", id, owner))
 				return
@@ -823,6 +849,14 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	// The session lock can be a queue under contention; if the client's
+	// deadline expired while waiting, abandon the step before doing the
+	// simulation work (the deadline middleware owns the 504 response).
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+			fmt.Errorf("client deadline expired before the step ran"))
+		return
+	}
 	root := obs.SpanFromContext(r.Context())
 	alloc := req.Allocation
 	controller := ""
@@ -939,12 +973,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	sh.mu.Unlock()
 	if !ok {
-		s.writeMiss(w, sh, id)
+		s.writeMiss(w, r, sh, id)
 		return
 	}
 	s.live.Add(-1)
 	s.dropSessionObs(id)
 	s.sessionsLive.Set(float64(s.live.Load()))
+	// A deleted session must stay deleted: drop any spilled snapshot so a
+	// later rehydrate (failover or restart) cannot resurrect it.
+	s.removeSpill(id)
 	w.WriteHeader(http.StatusNoContent)
 }
 

@@ -131,16 +131,16 @@ func (s *Server) insertSession(sess *session) (ErrorCode, error) {
 // returning; callers take the session's own lock before touching its
 // state.
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
-	return s.resolve(w, r.PathValue("id"))
+	return s.resolve(w, r, r.PathValue("id"))
 }
 
-func (s *Server) resolve(w http.ResponseWriter, id string) (*session, bool) {
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request, id string) (*session, bool) {
 	sh := s.shardFor(id)
 	sh.mu.RLock()
 	sess, ok := sh.sessions[id]
 	sh.mu.RUnlock()
 	if !ok {
-		s.writeMiss(w, sh, id)
+		s.writeMiss(w, r, sh, id)
 		return nil, false
 	}
 	now := s.now()
@@ -159,8 +159,10 @@ func (s *Server) resolve(w http.ResponseWriter, id string) (*session, bool) {
 // answer 421 naming the owner so routers and clients can follow; everything
 // else is a plain 404. A session present locally is always served, even if
 // the topology says another process owns it — rehydrated sessions must stay
-// reachable wherever they were adopted.
-func (s *Server) writeMiss(w http.ResponseWriter, sh *shard, id string) {
+// reachable wherever they were adopted. A failover re-route (FailoverHeader
+// naming the id's topological owner) skips the 421: this process is the
+// id's home while the owner is down, so the miss is a plain 404.
+func (s *Server) writeMiss(w http.ResponseWriter, r *http.Request, sh *shard, id string) {
 	sh.mu.RLock()
 	tomb := sh.tombs.has(id)
 	sh.mu.RUnlock()
@@ -170,7 +172,8 @@ func (s *Server) writeMiss(w http.ResponseWriter, sh *shard, id string) {
 		return
 	}
 	if s.topo != nil {
-		if owner := s.topo.ring.Owner(id); owner != s.topo.self {
+		if owner := s.topo.ring.Owner(id); owner != s.topo.self &&
+			owner != r.Header.Get(FailoverHeader) {
 			writeError(w, http.StatusMisdirectedRequest, CodeWrongShard,
 				fmt.Errorf("session %q is owned by shard %s", id, owner))
 			return

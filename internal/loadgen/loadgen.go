@@ -86,6 +86,23 @@ type Config struct {
 	SetupSession func(client *http.Client, info httpapi.SessionInfo) error
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// ChaosKillAt, in (0,1), arms chaos mode: when the dispatch loop
+	// reaches that fraction of the trace, KillHook runs once — typically
+	// SIGKILLing a shard process or killing a FleetTransport member — and
+	// the replay carries on into the outage. The summary's availability
+	// and error-budget columns then measure how well the serving tier
+	// absorbed the failure.
+	ChaosKillAt float64
+	// KillHook is the chaos action (required when ChaosKillAt > 0).
+	KillHook func()
+	// IdempotencyKeys tags every step POST with a unique
+	// X-Miras-Idempotency-Key so a resilient router may retry it; without
+	// the key, step POSTs are not idempotent and are never retried.
+	IdempotencyKeys bool
+	// ErrorBudget, when positive, is the client-visible error-rate bound
+	// the run is judged against (e.g. 0.01 = 99% availability target); the
+	// summary reports whether the run stayed within it.
+	ErrorBudget float64
 }
 
 func (c *Config) withDefaults() error {
@@ -137,6 +154,17 @@ func (c *Config) withDefaults() error {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	if c.ChaosKillAt < 0 || c.ChaosKillAt >= 1 {
+		if c.ChaosKillAt != 0 {
+			return fmt.Errorf("loadgen: ChaosKillAt must be in (0,1), got %g", c.ChaosKillAt)
+		}
+	}
+	if c.ChaosKillAt > 0 && c.KillHook == nil {
+		return fmt.Errorf("loadgen: ChaosKillAt requires a KillHook")
+	}
+	if c.ErrorBudget < 0 || c.ErrorBudget > 1 {
+		return fmt.Errorf("loadgen: ErrorBudget must be in [0,1], got %g", c.ErrorBudget)
 	}
 	return nil
 }
@@ -195,6 +223,16 @@ type Result struct {
 	// HotShare is the hottest session's fraction of the trace — near
 	// 1/sessions for uniform, far above it under Zipf skew.
 	HotShare float64 `json:"hottest_session_share"`
+
+	// AvailabilityPct is the client-visible success rate as a percentage:
+	// 100·(1 − error_rate).
+	AvailabilityPct float64 `json:"availability_pct"`
+	// ChaosKillAt echoes the chaos trigger point, when armed.
+	ChaosKillAt float64 `json:"chaos_kill_at,omitempty"`
+	// ErrorBudget echoes the configured bound and WithinErrorBudget
+	// reports the verdict (both only when a budget was set).
+	ErrorBudget       float64 `json:"error_budget,omitempty"`
+	WithinErrorBudget *bool   `json:"within_error_budget,omitempty"`
 }
 
 // BenchRow matches the repo's BENCH_*.json row shape, so loadgen results
@@ -293,6 +331,10 @@ func Run(cfg Config) (Result, error) {
 					req, err = http.NewRequest("POST",
 						cfg.Target+"/v1/sessions/"+ids[op.Session]+"/step",
 						bytes.NewReader(stepBody))
+					if err == nil && cfg.IdempotencyKeys {
+						req.Header.Set(httpapi.IdempotencyKeyHeader,
+							fmt.Sprintf("lg-%d-%d", cfg.Seed, i))
+					}
 				} else {
 					req, err = http.NewRequest("GET",
 						cfg.Target+"/v1/sessions/"+ids[op.Session], nil)
@@ -316,7 +358,17 @@ func Run(cfg Config) (Result, error) {
 			}
 		}()
 	}
+	killAt := -1
+	if cfg.ChaosKillAt > 0 {
+		killAt = int(cfg.ChaosKillAt * float64(len(trace)))
+		if killAt >= len(trace) {
+			killAt = len(trace) - 1
+		}
+	}
 	for i := range trace {
+		if i == killAt {
+			cfg.KillHook()
+		}
 		ops <- i
 	}
 	close(ops)
@@ -388,6 +440,13 @@ func summarize(cfg Config, trace []Op, samples []sample, elapsed time.Duration) 
 			}
 		}
 		res.HotShare = float64(hot) / float64(len(trace))
+	}
+	res.AvailabilityPct = 100 * (1 - res.ErrorRate)
+	res.ChaosKillAt = cfg.ChaosKillAt
+	if cfg.ErrorBudget > 0 {
+		res.ErrorBudget = cfg.ErrorBudget
+		within := res.ErrorRate <= cfg.ErrorBudget
+		res.WithinErrorBudget = &within
 	}
 	return res
 }

@@ -11,9 +11,20 @@
 // number of router replicas can front the same fleet, and a router restart
 // loses nothing. Shard membership is fixed at startup — resizing the fleet
 // is a drain/rehydrate operation on the shards, not a router concern.
+//
+// An opt-in resilience layer (WithResilience; see resilience.go) adds
+// per-member circuit breakers fed by passive failure accounting and an
+// active probe loop, bounded retries with jittered backoff for idempotent
+// requests, deadline propagation via the X-Miras-Deadline-Ms header, and
+// automated shard failover: a tripped breaker triggers a rehydrate of the
+// dead member's spilled sessions on a fallback and a sticky re-route of
+// its ids. The only state this adds is the failover override map — a
+// router restart merely re-detects the outage and fails over again.
 package router
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,19 +47,42 @@ type Router struct {
 	ring   *shardring.Ring
 	shards []string
 	client *http.Client
-	reg    *obs.Registry
-	nextID atomic.Int64
+	// adminClient shares the forwarding client's transport but carries no
+	// per-attempt timeout: probes bound themselves with contexts, and a
+	// failover rehydrate may legitimately run long.
+	adminClient *http.Client
+	reg         *obs.Registry
+	tracer      *obs.Tracer
+	nextID      atomic.Int64
+	now         func() time.Time
 
-	reqs     map[string]*obs.Counter // forwards by shard
-	upErrs   map[string]*obs.Counter // unreachable upstreams by shard
-	duration *obs.Histogram
+	// res is the resilience configuration (zero = disabled); breakers maps
+	// each member to its circuit breaker (nil map when breakers are off)
+	// and rnd is the shared seeded jitter stream for retry backoff.
+	res      Resilience
+	breakers map[string]*breaker
+	rnd      *lockedRand
+
+	// failMu guards the failover state: overrides re-routes a dead member's
+	// ids to the fallback serving them; pending marks failovers in flight.
+	failMu    sync.Mutex
+	overrides map[string]string
+	pending   map[string]bool
+
+	reqs          map[string]*obs.Counter // forwards by shard
+	upErrs        map[string]*obs.Counter // unreachable upstreams by shard
+	retries       map[string]*obs.Counter // retried attempts by shard
+	failoverTotal *obs.Counter
+	duration      *obs.Histogram
 }
 
 // Option configures a Router.
 type Option func(*Router)
 
 // WithClient overrides the HTTP client used to reach shards (timeouts,
-// transport tuning).
+// transport tuning). Its Timeout bounds each upstream attempt; with
+// retries enabled the whole-request budget is the caller's propagated
+// deadline or Resilience.RequestTimeout.
 func WithClient(c *http.Client) Option {
 	return func(rt *Router) { rt.client = c }
 }
@@ -56,6 +90,24 @@ func WithClient(c *http.Client) Option {
 // WithRegistry uses reg for the router's own metrics.
 func WithRegistry(reg *obs.Registry) Option {
 	return func(rt *Router) { rt.reg = reg }
+}
+
+// WithResilience enables the failure-handling layer (see Resilience). The
+// zero value keeps every mechanism off.
+func WithResilience(c Resilience) Option {
+	return func(rt *Router) { rt.res = c }
+}
+
+// WithTracer emits router spans: one per forwarded request (tagged with
+// attempts and outcome) and one per failover.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(rt *Router) { rt.tracer = tr }
+}
+
+// WithClock overrides the router's wall clock (default time.Now); tests
+// inject a fake to drive breaker cooldowns deterministically.
+func WithClock(now func() time.Time) Option {
+	return func(rt *Router) { rt.now = now }
 }
 
 // New builds a router over the shard processes at the given base URLs
@@ -71,6 +123,7 @@ func New(shards []string, opts ...Option) (*Router, error) {
 		ring:   ring,
 		shards: append([]string(nil), shards...),
 		client: &http.Client{Timeout: 30 * time.Second},
+		now:    time.Now,
 	}
 	for _, o := range opts {
 		o(rt)
@@ -78,14 +131,33 @@ func New(shards []string, opts ...Option) (*Router, error) {
 	if rt.reg == nil {
 		rt.reg = obs.NewRegistry()
 	}
+	rt.res = rt.res.withDefaults()
+	rt.adminClient = &http.Client{Transport: rt.client.Transport}
+	rt.rnd = newLockedRand(rt.res.Seed)
+	rt.overrides = make(map[string]string)
+	rt.pending = make(map[string]bool)
 	rt.reqs = make(map[string]*obs.Counter, len(shards))
 	rt.upErrs = make(map[string]*obs.Counter, len(shards))
+	rt.retries = make(map[string]*obs.Counter, len(shards))
+	if rt.res.BreakerThreshold > 0 {
+		rt.breakers = make(map[string]*breaker, len(shards))
+	}
 	for _, sh := range shards {
 		rt.reqs[sh] = rt.reg.Counter("miras_router_requests_total",
 			"Requests forwarded, by shard.", "shard", sh)
 		rt.upErrs[sh] = rt.reg.Counter("miras_router_upstream_errors_total",
 			"Forwards that failed to reach their shard, by shard.", "shard", sh)
+		rt.retries[sh] = rt.reg.Counter("miras_router_retries_total",
+			"Forward attempts retried after a failure, by shard.", "shard", sh)
+		if rt.breakers != nil {
+			rt.breakers[sh] = newBreaker(rt.res.BreakerThreshold, rt.res.BreakerCooldown,
+				rt.now, rt.reg.Gauge("miras_router_breaker_state",
+					"Circuit breaker state, by shard (0 closed, 1 half-open, 2 open).",
+					"shard", sh))
+		}
 	}
+	rt.failoverTotal = rt.reg.Counter("miras_router_failover_total",
+		"Shard failovers executed: a dead member's spilled sessions rehydrated on a fallback and its ids re-routed.")
 	rt.duration = rt.reg.Histogram("miras_router_request_duration_seconds",
 		"End-to-end forwarded request latency.", nil)
 	return rt, nil
@@ -115,55 +187,220 @@ func writeError(w http.ResponseWriter, status int, code httpapi.ErrorCode, err e
 	})
 }
 
-// forward proxies the request to shard, preserving method, path, query,
-// body, and headers both ways. Transport failures become 502
-// upstream_unreachable envelopes — the uniform error surface clients
-// already parse.
+// forward proxies the request to a fixed shard; forwardSession routes by
+// session id, following failover overrides. Both run the same attempt loop.
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, shard string) {
-	start := time.Now()
-	req, err := http.NewRequestWithContext(r.Context(), r.Method,
-		shard+r.URL.RequestURI(), r.Body)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err)
-		return
-	}
-	req.Header = r.Header.Clone()
-	resp, err := rt.client.Do(req)
-	rt.reqs[shard].Inc()
-	if err != nil {
-		rt.upErrs[shard].Inc()
-		writeError(w, http.StatusBadGateway, httpapi.CodeUpstreamUnreachable,
-			fmt.Errorf("shard %s unreachable: %v", shard, err))
-		return
-	}
-	defer resp.Body.Close()
-	h := w.Header()
-	for k, vs := range resp.Header {
-		h[k] = vs
-	}
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
-	rt.duration.Observe(time.Since(start).Seconds())
+	rt.proxy(w, r, shard, "")
 }
 
-// handleCreate mints the session id, picks its owner from the ring, and
-// forwards the create with the id in the X-Miras-Session-Id header so the
-// shard adopts it. Router-minted ids use the "r" namespace, disjoint from
-// the shards' own "s" sequence.
+func (rt *Router) forwardSession(w http.ResponseWriter, r *http.Request, id string) {
+	rt.proxy(w, r, "", id)
+}
+
+// proxy forwards the request upstream, preserving method, path, query,
+// body, and headers both ways. With resilience disabled this is a single
+// attempt and transport failures become 502 upstream_unreachable envelopes
+// — the uniform error surface clients already parse. With resilience
+// enabled, retryable requests get bounded retries with jittered backoff,
+// each attempt re-routed (an override installed mid-retry redirects the
+// next attempt), gated by the member's circuit breaker, and bounded by the
+// caller's propagated deadline; the final failure is classified as 504
+// deadline_exceeded, 503 upstream_degraded (breaker open), or 502
+// upstream_unreachable.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, fixed, id string) {
+	start := rt.now()
+	span := rt.tracer.Start("router.forward").
+		Str("method", r.Method).Str("path", r.URL.Path)
+	if id != "" {
+		span.Str("session", id)
+	}
+	// Buffer the body so retries and failover re-routes can resend it. The
+	// shard-side body cap (64 MiB) bounds what a well-behaved client sends.
+	var body []byte
+	if r.Body != nil {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			span.Bool("error", true).End()
+			writeError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				fmt.Errorf("read request body: %v", err))
+			return
+		}
+		body = b
+	}
+	// The whole-request budget: the caller's propagated deadline wins, else
+	// the configured default. Attempts, backoffs, and the downstream
+	// X-Miras-Deadline-Ms headers all derive from it.
+	ctx := r.Context()
+	if raw := r.Header.Get(httpapi.DeadlineHeader); raw != "" {
+		ms, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			span.Bool("error", true).End()
+			writeError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				fmt.Errorf("invalid %s header %q", httpapi.DeadlineHeader, raw))
+			return
+		}
+		if ms <= 0 {
+			span.Bool("error", true).End()
+			writeError(w, http.StatusGatewayTimeout, httpapi.CodeDeadlineExceeded,
+				fmt.Errorf("request deadline already exhausted"))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	} else if rt.res.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rt.res.RequestTimeout)
+		defer cancel()
+	}
+
+	maxAttempts := 1
+	if rt.res.MaxRetries > 0 && retryableRequest(r) {
+		maxAttempts = 1 + rt.res.MaxRetries
+	}
+
+	var (
+		lastErr     error
+		breakerHit  string        // member whose open breaker rejected the last attempt
+		retryIn     time.Duration // Retry-After from the last retryable response
+		lastAttempt int
+	)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		lastAttempt = attempt
+		if attempt > 0 {
+			wait := retryDelay(attempt-1, rt.res.RetryBase, rt.res.RetryCap, rt.rnd.Float64)
+			if retryIn > wait {
+				wait = retryIn
+			}
+			retryIn = 0
+			if dl, ok := ctx.Deadline(); ok && rt.now().Add(wait).After(dl) {
+				break // the backoff alone would outlive the budget
+			}
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+			case <-t.C:
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		shard, failedFrom := rt.routeTarget(fixed, id)
+		if attempt > 0 {
+			rt.retries[shard].Inc()
+		}
+
+		trial := false
+		if br := rt.breakers[shard]; br != nil {
+			ok, t := br.allow()
+			if !ok {
+				breakerHit = shard
+				lastErr = fmt.Errorf("shard %s circuit breaker open", shard)
+				continue
+			}
+			trial = t
+		}
+		breakerHit = ""
+
+		req, err := http.NewRequestWithContext(ctx, r.Method,
+			shard+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			rt.breakers[shard].abort(trial)
+			span.Bool("error", true).End()
+			writeError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err)
+			return
+		}
+		req.Header = r.Header.Clone()
+		if dl, ok := ctx.Deadline(); ok {
+			remaining := dl.Sub(rt.now()).Milliseconds()
+			if remaining < 1 {
+				remaining = 1
+			}
+			req.Header.Set(httpapi.DeadlineHeader, strconv.FormatInt(remaining, 10))
+		}
+		if failedFrom != "" {
+			req.Header.Set(httpapi.FailoverHeader, failedFrom)
+		}
+
+		resp, err := rt.client.Do(req)
+		rt.reqs[shard].Inc()
+		if err != nil {
+			rt.upErrs[shard].Inc()
+			if ctx.Err() != nil {
+				// The budget expired (or the caller went away) mid-attempt —
+				// the member is not to blame; release any trial slot unjudged.
+				rt.breakers[shard].abort(trial)
+				lastErr = fmt.Errorf("shard %s unreachable: %v", shard, err)
+				break
+			}
+			if br := rt.breakers[shard]; br != nil && br.onFailure(trial) {
+				rt.onBreakerTrip(shard)
+			}
+			lastErr = fmt.Errorf("shard %s unreachable: %v", shard, err)
+			continue
+		}
+		if br := rt.breakers[shard]; br != nil {
+			br.onSuccess(trial)
+		}
+		// Backpressure statuses are retried in place when attempts remain;
+		// the shard's Retry-After, if any, floors the next backoff.
+		if (resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable) && attempt < maxAttempts-1 {
+			if d, ok := retryAfter(resp); ok {
+				retryIn = d
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("shard %s answered status %d", shard, resp.StatusCode)
+			continue
+		}
+		h := w.Header()
+		for k, vs := range resp.Header {
+			h[k] = vs
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		resp.Body.Close()
+		rt.duration.Observe(rt.now().Sub(start).Seconds())
+		span.Int("attempts", attempt+1).Int("status", resp.StatusCode).End()
+		return
+	}
+
+	span.Int("attempts", lastAttempt+1).Bool("error", true).End()
+	switch {
+	case ctx.Err() == context.DeadlineExceeded:
+		writeError(w, http.StatusGatewayTimeout, httpapi.CodeDeadlineExceeded,
+			fmt.Errorf("request deadline exceeded after %d attempt(s): %v", lastAttempt+1, lastErr))
+	case breakerHit != "":
+		// Fail fast, but tell the client when it is worth coming back.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((rt.res.BreakerCooldown+time.Second-1)/time.Second)))
+		writeError(w, http.StatusServiceUnavailable, httpapi.CodeUpstreamDegraded,
+			fmt.Errorf("shard %s degraded: circuit breaker open", breakerHit))
+	default:
+		writeError(w, http.StatusBadGateway, httpapi.CodeUpstreamUnreachable, lastErr)
+	}
+}
+
+// handleCreate mints the session id and forwards the create with the id in
+// the X-Miras-Session-Id header so the owning shard adopts it. Router-
+// minted ids use the "r" namespace, disjoint from the shards' own "s"
+// sequence.
 func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
 	id := "r" + strconv.FormatInt(rt.nextID.Add(1), 10)
 	r.Header.Set(httpapi.SessionIDHeader, id)
-	rt.forward(w, r, rt.ring.Owner(id))
+	rt.forwardSession(w, r, id)
 }
 
 // handleByID forwards any /v1/sessions/{id} or /v1/sessions/{id}/{op}
-// request to the id's owner.
+// request to the id's owner (or the fallback serving it after a failover).
 func (rt *Router) handleByID(w http.ResponseWriter, r *http.Request) {
-	rt.forward(w, r, rt.ring.Owner(r.PathValue("id")))
+	rt.forwardSession(w, r, r.PathValue("id"))
 }
 
 // handleEnsembles serves the static ensemble catalog from any shard (it is
-// identical everywhere); shards are tried in ring order until one answers.
+// identical everywhere).
 func (rt *Router) handleEnsembles(w http.ResponseWriter, r *http.Request) {
 	rt.forward(w, r, rt.shards[0])
 }
@@ -250,11 +487,17 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports 200 only when every shard's /healthz answers 200,
-// with a per-shard breakdown either way.
+// with a per-shard breakdown either way. With breakers enabled each member
+// also reports its breaker-derived state — healthy, degraded (accumulating
+// failures), half-open, or open-breaker — and, when failed over, which
+// member now serves its ids; partial outages are diagnosable from this body
+// alone, without scraping metrics.
 func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	type health struct {
-		Shard string `json:"shard"`
-		OK    bool   `json:"ok"`
+		Shard      string `json:"shard"`
+		OK         bool   `json:"ok"`
+		State      string `json:"state,omitempty"`
+		FailoverTo string `json:"failover_to,omitempty"`
 	}
 	out := make([]health, len(rt.shards))
 	allOK := true
@@ -273,6 +516,23 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		}(i, sh)
 	}
 	wg.Wait()
+	for i, sh := range rt.shards {
+		if br := rt.breakers[sh]; br != nil {
+			switch state, fails := br.snapshot(); {
+			case state == breakerOpen:
+				out[i].State = "open-breaker"
+			case state == breakerHalfOpen:
+				out[i].State = "half-open"
+			case fails > 0:
+				out[i].State = "degraded"
+			default:
+				out[i].State = "healthy"
+			}
+		}
+		rt.failMu.Lock()
+		out[i].FailoverTo = rt.overrides[sh]
+		rt.failMu.Unlock()
+	}
 	for _, h := range out {
 		if !h.OK {
 			allOK = false

@@ -17,6 +17,7 @@ import (
 	"miras/internal/httpapi"
 	"miras/internal/loadgen"
 	"miras/internal/rl"
+	"miras/internal/router"
 )
 
 // Workload is one registered driver: a named measurement the runner can
@@ -82,6 +83,12 @@ var workloads = map[string]Workload{
 		Params:  []string{"sessions", "steps"},
 		Metrics: []string{"total_ms", "drain_ms", "rehydrate_ms"},
 		Run:     runDrainRehydrate,
+	},
+	"router_failover": {
+		Name:    "router_failover",
+		Params:  []string{"requests", "sessions", "concurrency"},
+		Metrics: []string{"throughput_rps", "p99_ms", "error_rate", "availability_pct", "failovers"},
+		Run:     runRouterFailover,
 	},
 }
 
@@ -340,6 +347,86 @@ func runDrainRehydrate(p Params) (map[string]float64, error) {
 		"drain_ms":     float64(drained.Nanoseconds()) / 1e6,
 		"rehydrate_ms": float64((total - drained).Nanoseconds()) / 1e6,
 	}, nil
+}
+
+// runRouterFailover replays a seeded Zipf trace through a resilient
+// in-process router fronting two shard servers, SIGKILL-equivalently
+// drops one shard at 40% of the trace (spilling its snapshots first, the
+// way -spill-sync-interval keeps them fresh in production), and measures
+// the client-visible damage: error_rate and availability_pct across the
+// outage, plus the failover count. Zero failovers is a hard error — the
+// recovery path, not just the replay, is what this case gates.
+func runRouterFailover(p Params) (map[string]float64, error) {
+	spill, err := os.MkdirTemp("", "wlcheck-failover-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spill)
+
+	members := []string{"http://shard-0", "http://shard-1"}
+	fleet := loadgen.NewFleetTransport()
+	servers := make([]*httpapi.Server, len(members))
+	for i, m := range members {
+		servers[i] = httpapi.NewServer(
+			httpapi.WithShardTopology(m, members),
+			httpapi.WithSpillDir(spill),
+		)
+		fleet.Register(m, servers[i].Handler())
+	}
+
+	rt, err := router.New(members,
+		router.WithClient(&http.Client{Transport: fleet}),
+		router.WithResilience(router.Resilience{
+			MaxRetries:       4,
+			RetryBase:        time.Millisecond,
+			RetryCap:         20 * time.Millisecond,
+			BreakerThreshold: 2,
+			BreakerCooldown:  50 * time.Millisecond,
+			Failover:         true,
+		}),
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	victim := members[1]
+	res, err := loadgen.Run(loadgen.Config{
+		Transport:       loadgen.NewHandlerTransport(rt.Handler()),
+		Requests:        p.intOr("requests", 800),
+		Sessions:        p.intOr("sessions", 16),
+		Concurrency:     p.intOr("concurrency", 8),
+		Skew:            "zipf",
+		Seed:            1,
+		IdempotencyKeys: true,
+		ChaosKillAt:     0.4,
+		KillHook: func() {
+			// Spill before the kill: in production the victim's snapshots
+			// are already on shared disk via -spill-sync-interval.
+			_, _ = servers[1].SpillAll()
+			fleet.Kill(victim)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The failover rehydrate runs in a router goroutine; give a straggler
+	// a moment before declaring the recovery path broken.
+	failovers := rt.Registry().Counter("miras_router_failover_total", "").Value()
+	for wait := 0; failovers == 0 && wait < 200; wait++ {
+		time.Sleep(10 * time.Millisecond)
+		failovers = rt.Registry().Counter("miras_router_failover_total", "").Value()
+	}
+	if failovers == 0 {
+		return nil, fmt.Errorf("shard kill at 40%% of the trace triggered no failover (statuses %v)", res.Statuses)
+	}
+
+	m := loadgenMetrics(res)
+	delete(m, "p50_ms")
+	delete(m, "p90_ms")
+	m["availability_pct"] = res.AvailabilityPct
+	m["failovers"] = float64(failovers)
+	return m, nil
 }
 
 // loadgenMetrics maps a loadgen.Result onto the serving workloads'

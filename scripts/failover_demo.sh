@@ -1,0 +1,183 @@
+#!/usr/bin/env bash
+# Serving-resilience gate: build miras-server, miras-router, and
+# miras-loadgen, stand up a 2-shard fleet (shared spill directory,
+# continuous snapshot sync) behind a resilient router (retries, circuit
+# breakers, active probes, automated failover), then SIGKILL one shard at
+# 40% of a seeded 2000-request Zipf trace. The replay must stay inside a
+# 1% client-visible error budget, the dead shard's sessions must keep
+# serving through the surviving shard, and the router's metrics must show
+# the failover actually executed. `make failover-demo` runs this.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export MIRAS_INVARIANTS=1
+
+ROUTER_ADDR="${FAILOVER_DEMO_ROUTER:-127.0.0.1:18095}"
+SHARD1_ADDR="${FAILOVER_DEMO_SHARD1:-127.0.0.1:18096}"
+SHARD2_ADDR="${FAILOVER_DEMO_SHARD2:-127.0.0.1:18097}"
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# fetch ADDR PATH — GET a URL and print the body. Prefers curl; falls
+# back to bash's /dev/tcp so the gate needs nothing beyond the base image.
+fetch() {
+    local addr="$1" path="$2"
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf "http://$addr$path"
+    else
+        local host="${addr%:*}" port="${addr##*:}"
+        exec 3<>"/dev/tcp/$host/$port"
+        printf 'GET %s HTTP/1.0\r\nHost: %s\r\n\r\n' "$path" "$host" >&3
+        sed '1,/^\r\{0,1\}$/d' <&3
+        exec 3<&- 3>&-
+    fi
+}
+
+# fetch_any ADDR PATH — like fetch, but prints the body even on a non-2xx
+# status (a degraded router answers /healthz with 503 by design).
+fetch_any() {
+    local addr="$1" path="$2"
+    if command -v curl >/dev/null 2>&1; then
+        curl -s "http://$addr$path"
+    else
+        local host="${addr%:*}" port="${addr##*:}"
+        exec 3<>"/dev/tcp/$host/$port"
+        printf 'GET %s HTTP/1.0\r\nHost: %s\r\n\r\n' "$path" "$host" >&3
+        sed '1,/^\r\{0,1\}$/d' <&3
+        exec 3<&- 3>&-
+    fi
+}
+
+# post ADDR PATH BODY — POST a JSON body and print the response body.
+post() {
+    local addr="$1" path="$2" body="$3"
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf -X POST -d "$body" "http://$addr$path"
+    else
+        local host="${addr%:*}" port="${addr##*:}"
+        exec 3<>"/dev/tcp/$host/$port"
+        printf 'POST %s HTTP/1.0\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s' \
+            "$path" "$host" "${#body}" "$body" >&3
+        sed '1,/^\r\{0,1\}$/d' <&3
+        exec 3<&- 3>&-
+    fi
+}
+
+wait_healthy() {
+    local addr="$1"
+    for _ in $(seq 1 50); do
+        if fetch "$addr" /healthz 2>/dev/null | grep -q ok; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "server on $addr never became healthy" >&2
+    return 1
+}
+
+echo "==> building miras-server, miras-router, miras-loadgen"
+go build -o "$WORK/miras-server" ./cmd/miras-server
+go build -o "$WORK/miras-router" ./cmd/miras-router
+go build -o "$WORK/miras-loadgen" ./cmd/miras-loadgen
+
+PEERS="http://$SHARD1_ADDR,http://$SHARD2_ADDR"
+SPILL="$WORK/spill"
+mkdir -p "$SPILL"
+
+echo "==> starting 2 shards (shared spill, 25ms snapshot sync) + resilient router"
+"$WORK/miras-server" -addr "$SHARD1_ADDR" -max-sessions 256 \
+    -shard-self "http://$SHARD1_ADDR" -shard-peers "$PEERS" \
+    -spill-dir "$SPILL" -spill-sync-interval 25ms &
+PIDS+=($!)
+"$WORK/miras-server" -addr "$SHARD2_ADDR" -max-sessions 256 \
+    -shard-self "http://$SHARD2_ADDR" -shard-peers "$PEERS" \
+    -spill-dir "$SPILL" -spill-sync-interval 25ms &
+SHARD2_PID=$!
+PIDS+=("$SHARD2_PID")
+wait_healthy "$SHARD1_ADDR"
+wait_healthy "$SHARD2_ADDR"
+"$WORK/miras-router" -addr "$ROUTER_ADDR" -shards "$PEERS" \
+    -retries 5 -breaker-threshold 3 -breaker-cooldown 1s \
+    -probe-interval 250ms -failover &
+PIDS+=($!)
+wait_healthy "$ROUTER_ADDR"
+
+echo "==> seeding sessions through the router; recording which live on shard 2"
+for i in $(seq 1 8); do
+    post "$ROUTER_ADDR" /v1/sessions \
+        "{\"ensemble\":\"toy\",\"budget\":6,\"window_sec\":10,\"seed\":$i}" >/dev/null
+done
+VICTIM_IDS=$(fetch "$SHARD2_ADDR" /v1/sessions | tr ',{' '\n\n' \
+    | grep -oE '"id": ?"r[0-9]+"' | grep -oE 'r[0-9]+' || true)
+if [ -z "$VICTIM_IDS" ]; then
+    echo "shard 2 holds no seeded sessions; cannot demonstrate failover" >&2
+    exit 1
+fi
+echo "    shard 2 holds:" $VICTIM_IDS
+for id in $VICTIM_IDS; do
+    post "$ROUTER_ADDR" "/v1/sessions/$id/step" '{"allocation":[3,3]}' >/dev/null
+done
+sleep 0.3 # several spill-sync ticks: the victim's snapshots reach shared disk
+
+SUMMARY="$WORK/failover_summary.json"
+
+echo "==> replaying 2000-request zipf trace; SIGKILL shard 2 at 40% (1% error budget)"
+"$WORK/miras-loadgen" -target "http://$ROUTER_ADDR" \
+    -requests 2000 -sessions 32 -concurrency 16 \
+    -skew zipf -seed 7 -idempotency-keys \
+    -chaos-kill-pid "$SHARD2_PID" -chaos-kill-at 0.4 \
+    -error-budget 0.01 -fail-on-error-budget \
+    -out "$SUMMARY"
+
+grep -q '"within_error_budget": true' "$SUMMARY" || {
+    echo "loadgen summary does not report within_error_budget=true:" >&2
+    cat "$SUMMARY" >&2
+    exit 1
+}
+
+echo "==> checking the dead shard's sessions keep serving through the router"
+for id in $VICTIM_IDS; do
+    fetch "$ROUTER_ADDR" "/v1/sessions/$id" | grep -q "\"$id\"" || {
+        echo "session $id (owned by the dead shard) not served post-failover" >&2
+        exit 1
+    }
+    post "$ROUTER_ADDR" "/v1/sessions/$id/step" '{"allocation":[3,3]}' \
+        | grep -q '"reward"' || {
+        echo "session $id cannot step post-failover" >&2
+        exit 1
+    }
+done
+
+echo "==> checking router metrics recorded the recovery"
+metrics=$(fetch "$ROUTER_ADDR" /metrics)
+echo "$metrics" | grep -qE 'miras_router_failover_total [1-9]' || {
+    echo "miras_router_failover_total never incremented:" >&2
+    echo "$metrics" | grep miras_router_failover_total >&2 || true
+    exit 1
+}
+echo "$metrics" | grep -qE "miras_router_retries_total\{shard=\"http://$SHARD2_ADDR\"\} [1-9]" || {
+    echo "no retries recorded against the killed shard:" >&2
+    echo "$metrics" | grep miras_router_retries_total >&2 || true
+    exit 1
+}
+
+healthz=$(fetch_any "$ROUTER_ADDR" /healthz)
+echo "$healthz" | grep -q "\"failover_to\":\"http://$SHARD1_ADDR\"" || {
+    echo "router /healthz does not show shard 2 failed over to shard 1: $healthz" >&2
+    exit 1
+}
+
+echo "==> loadgen summary:"
+head -16 "$SUMMARY"
+echo "$healthz"
+echo "OK"
